@@ -1,0 +1,47 @@
+// Ablation A1: how the ordering window (the packet size, in flits) affects
+// BT reduction on the Table I workload. The paper orders within packets;
+// this sweep quantifies how much window the technique needs — small windows
+// leave reduction on the table, very large windows hit diminishing returns.
+
+#include <cstdio>
+
+#include "analysis/stream_experiment.h"
+#include "bench_util.h"
+#include "common/table.h"
+
+using namespace nocbt;
+
+int main() {
+  std::puts("=== Ablation A1: ordering window size sweep (Table I workload) ===");
+  std::puts("(training LeNet...)\n");
+  auto lenet = benchutil::make_lenet_trained(42);
+  const auto weights = lenet.weight_values();
+
+  for (DataFormat format : {DataFormat::kFloat32, DataFormat::kFixed8}) {
+    std::printf("--- %s trained weights, 8 values/flit ---\n",
+                to_string(format).c_str());
+    AsciiTable table({"Window (flits)", "BT/flit baseline", "BT/flit ordered",
+                      "Reduction"});
+    for (unsigned window : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u}) {
+      analysis::StreamExperimentConfig cfg;
+      cfg.format = format;
+      cfg.values_per_flit = 8;
+      cfg.flits_per_packet = window;
+      cfg.num_packets = 40'000 / window + 1;  // comparable stream lengths
+      const auto result = analysis::run_stream_experiment(weights, cfg);
+      table.add_row({std::to_string(window),
+                     format_double(result.baseline_bt_per_flit, 2),
+                     format_double(result.ordered_bt_per_flit, 2),
+                     format_percent(result.reduction())});
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::puts("");
+  }
+  std::puts("Expected shape (non-monotone!): window=1 flit already helps by");
+  std::puts("canonicalizing slot order *within* each flit (lane alignment);");
+  std::puts("windows of 2-4 flits can *hurt* — the sort builds a sawtooth with");
+  std::puts("a high->low popcount cliff at every window boundary; from ~8");
+  std::puts("flits up, intra-window similarity wins and reduction grows toward");
+  std::puts("saturation. The paper's packet-level ordering sits on that knee.");
+  return 0;
+}

@@ -1,0 +1,33 @@
+#pragma once
+// Shared workload construction for the benchmark harness: the models and
+// inputs every table/figure bench draws from. Everything is seeded and
+// deterministic.
+
+#include <cstdint>
+
+#include "dnn/sequential.h"
+#include "dnn/tensor.h"
+
+namespace nocbt::benchutil {
+
+/// LeNet-5 with Kaiming-random weights (the paper's "randomly initialized
+/// weights" configuration).
+[[nodiscard]] dnn::Sequential make_lenet_random(std::uint64_t seed);
+
+/// LeNet-5 actually trained from scratch on the synthetic stroke dataset
+/// (the paper's "trained LeNet weights" configuration; see DESIGN.md for
+/// the MNIST substitution). Trains in a few seconds; prints nothing.
+[[nodiscard]] dnn::Sequential make_lenet_trained(std::uint64_t seed);
+
+/// DarkNetSmall with trained-like (Laplace) weights — training the conv
+/// stack would dominate bench time, and only the weight distribution
+/// matters for BT (DESIGN.md substitution table).
+[[nodiscard]] dnn::Sequential make_darknet_trained_like(std::uint64_t seed);
+
+/// One synthetic 1x32x32 inference input for LeNet.
+[[nodiscard]] dnn::Tensor lenet_input(std::uint64_t seed);
+
+/// One synthetic 3x64x64 inference input for DarkNetSmall.
+[[nodiscard]] dnn::Tensor darknet_input(std::uint64_t seed);
+
+}  // namespace nocbt::benchutil

@@ -1,0 +1,87 @@
+// Micro-benchmarks (google-benchmark) for the NoC simulator: cycle
+// throughput under load and end-to-end packet transport cost.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "noc/network.h"
+
+using namespace nocbt;
+using namespace nocbt::noc;
+
+namespace {
+
+std::vector<BitVec> random_payloads(unsigned bits, int flits, Rng& rng) {
+  std::vector<BitVec> out;
+  for (int i = 0; i < flits; ++i) {
+    BitVec v(bits);
+    for (unsigned w = 0; w < bits; w += 64)
+      v.set_field(w, std::min(64u, bits - w), rng.bits64());
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+void BM_NetworkStepUnderLoad(benchmark::State& state) {
+  NocConfig cfg;
+  cfg.rows = static_cast<std::int32_t>(state.range(0));
+  cfg.cols = static_cast<std::int32_t>(state.range(0));
+  cfg.flit_payload_bits = 128;
+  Network net(cfg);
+  Rng rng(1);
+  const std::int32_t n = cfg.node_count();
+  for (std::int32_t node = 0; node < n; ++node)
+    net.set_sink(node, [](Packet&&, std::uint64_t) {});
+
+  std::uint64_t injected = 0;
+  for (auto _ : state) {
+    // Keep a steady backlog: one fresh packet per node every 8 cycles.
+    if (net.cycle() % 8 == 0) {
+      for (std::int32_t src = 0; src < n; ++src) {
+        net.inject(src, static_cast<std::int32_t>(rng.uniform_int(0, n - 1)),
+                   random_payloads(128, 4, rng));
+        ++injected;
+      }
+    }
+    net.step();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(net.stats().flits_delivered));
+  state.counters["cycles"] = static_cast<double>(net.cycle());
+}
+BENCHMARK(BM_NetworkStepUnderLoad)->Arg(4)->Arg(8);
+
+void BM_SinglePacketLatency(benchmark::State& state) {
+  NocConfig cfg;
+  cfg.rows = 8;
+  cfg.cols = 8;
+  cfg.flit_payload_bits = 512;
+  Rng rng(2);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Network net(cfg);
+    net.set_sink(63, [](Packet&&, std::uint64_t) {});
+    auto payloads = random_payloads(512, 8, rng);
+    state.ResumeTiming();
+    net.inject(0, 63, std::move(payloads));
+    benchmark::DoNotOptimize(net.run_until_idle(10'000));
+  }
+}
+BENCHMARK(BM_SinglePacketLatency);
+
+void BM_BtRecorderObserve(benchmark::State& state) {
+  BtRecorder recorder(BtScopeConfig{}, 512);
+  const auto link = recorder.register_link({LinkKind::kInterRouter, 0, 1, kEast});
+  Rng rng(3);
+  const auto payloads = random_payloads(512, 64, rng);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    recorder.observe(link, payloads[i % payloads.size()]);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BtRecorderObserve);
+
+}  // namespace
+
+BENCHMARK_MAIN();

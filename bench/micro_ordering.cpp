@@ -1,0 +1,100 @@
+// Micro-benchmarks (google-benchmark) for the ordering primitives: the
+// software cost of what the paper implements in 12.91 kGE of hardware.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "accel/flitization.h"
+#include "accel/packet_builder.h"
+#include "common/rng.h"
+#include "ordering/greedy_chain.h"
+#include "ordering/ordering.h"
+
+using namespace nocbt;
+
+namespace {
+
+std::vector<std::uint32_t> random_patterns(std::size_t n, unsigned bits,
+                                           std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint32_t> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back(static_cast<std::uint32_t>(rng.bits64() & low_mask(bits)));
+  return out;
+}
+
+void BM_PopcountDescendingOrder(benchmark::State& state) {
+  const auto patterns =
+      random_patterns(static_cast<std::size_t>(state.range(0)), 32, 1);
+  for (auto _ : state) {
+    auto perm = ordering::popcount_descending_order(patterns,
+                                                    DataFormat::kFloat32);
+    benchmark::DoNotOptimize(perm);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PopcountDescendingOrder)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_GreedyMinXorChain(benchmark::State& state) {
+  const auto patterns =
+      random_patterns(static_cast<std::size_t>(state.range(0)), 32, 2);
+  for (auto _ : state) {
+    auto perm = ordering::greedy_min_xor_chain(patterns, DataFormat::kFloat32);
+    benchmark::DoNotOptimize(perm);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GreedyMinXorChain)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_OrderStream(benchmark::State& state) {
+  const auto patterns = random_patterns(1 << 16, 8, 3);
+  for (auto _ : state) {
+    auto ordered = ordering::order_stream_descending(
+        patterns, DataFormat::kFixed8,
+        static_cast<std::size_t>(state.range(0)));
+    benchmark::DoNotOptimize(ordered);
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 16));
+}
+BENCHMARK(BM_OrderStream)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_PackHalfHalf(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto inputs = random_patterns(n, 32, 4);
+  const auto weights = random_patterns(n, 32, 5);
+  const accel::FlitLayout layout{16, 32};
+  for (auto _ : state) {
+    auto flits = accel::pack_half_half(inputs, weights, 7u, layout);
+    benchmark::DoNotOptimize(flits);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PackHalfHalf)->Arg(25)->Arg(150)->Arg(400);
+
+void BM_BuildTaskPacketSeparated(benchmark::State& state) {
+  Rng rng(6);
+  accel::NeuronTask task;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < n; ++i) {
+    task.inputs.push_back(static_cast<float>(rng.uniform(-1, 1)));
+    task.weights.push_back(static_cast<float>(rng.uniform(-1, 1)));
+  }
+  const accel::LayerCodecs codecs{
+      accel::ValueCodec::fixed_calibrated(8, task.weights),
+      accel::ValueCodec::fixed_calibrated(8, task.inputs),
+      accel::ValueCodec::float32()};
+  const accel::FlitLayout layout{16, 8};
+  for (auto _ : state) {
+    auto packet = accel::build_task_packet(
+        task, codecs, ordering::OrderingMode::kSeparated, layout);
+    benchmark::DoNotOptimize(packet);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BuildTaskPacketSeparated)->Arg(25)->Arg(150)->Arg(400);
+
+}  // namespace
+
+BENCHMARK_MAIN();

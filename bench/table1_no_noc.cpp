@@ -1,0 +1,71 @@
+// Regenerates paper Table I: BT reduction without NoC.
+//
+// 10,000 packets of 8-value flits are generated from LeNet weight streams
+// (random init and actually-trained weights), in float-32 and fixed-8, and
+// the per-flit BT of the baseline stream is compared against the
+// descending-popcount-ordered stream.
+//
+// Paper reference rows:
+//   float-32 random : 113.27 -> 90.18  (20.38%)
+//   fixed-8  random :  31.01 -> 22.42  (27.70%)
+//   float-32 trained: 112.80 -> 91.46  (18.92%)
+//   fixed-8  trained:  30.55 -> 13.73  (55.71%)
+
+#include <cstdio>
+
+#include "analysis/stream_experiment.h"
+#include "bench_util.h"
+#include "common/table.h"
+
+using namespace nocbt;
+
+namespace {
+
+struct Row {
+  const char* name;
+  DataFormat format;
+  std::vector<float> weights;
+  double paper_reduction;
+};
+
+}  // namespace
+
+int main() {
+  std::puts("=== Table I: BT reduction without NoC ===");
+  std::puts("10,000 packets, 8 values/flit, ordering window = 32 flits\n");
+
+  auto lenet_random = benchutil::make_lenet_random(42);
+  std::puts("(training LeNet on the synthetic dataset for the 'trained' rows...)");
+  auto lenet_trained = benchutil::make_lenet_trained(42);
+
+  std::vector<Row> rows;
+  rows.push_back({"Float-32 random", DataFormat::kFloat32,
+                  lenet_random.weight_values(), 0.2038});
+  rows.push_back({"Fixed-8 random", DataFormat::kFixed8,
+                  lenet_random.weight_values(), 0.2770});
+  rows.push_back({"Float-32 trained", DataFormat::kFloat32,
+                  lenet_trained.weight_values(), 0.1892});
+  rows.push_back({"Fixed-8 trained", DataFormat::kFixed8,
+                  lenet_trained.weight_values(), 0.5571});
+
+  AsciiTable table({"Weights", "Flit size (bit)", "BTs/flit baseline",
+                    "BTs/flit ordered", "Reduction", "Paper"});
+  for (const auto& row : rows) {
+    analysis::StreamExperimentConfig cfg;
+    cfg.format = row.format;
+    cfg.values_per_flit = 8;
+    cfg.flits_per_packet = 32;
+    cfg.num_packets = 10'000;
+    const auto result = analysis::run_stream_experiment(row.weights, cfg);
+    table.add_row({row.name,
+                   std::to_string(value_bits(row.format)) + "x8",
+                   format_double(result.baseline_bt_per_flit, 2),
+                   format_double(result.ordered_bt_per_flit, 2),
+                   format_percent(result.reduction()),
+                   format_percent(row.paper_reduction)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::puts("\nExpected shape: fixed-8 gains >> float-32 gains; the trained");
+  std::puts("fixed-8 row is the largest (zero-concentrated weights).");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Regenerates paper Table II: synthesis results of the ordering unit vs the
+// router, from the calibrated gate-equivalent model (see DESIGN.md for the
+// Synopsys-DC substitution).
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "hw/gate_model.h"
+#include "ordering/ordering_unit.h"
+
+using namespace nocbt;
+
+int main() {
+  std::puts("=== Table II: synthesis results of ordering unit and router ===");
+  std::puts("TSMC 90nm-calibrated model, 125 MHz, 1.0 V\n");
+
+  hw::OrderingUnitCostModel unit_model(ordering::OrderingUnitConfig{16, 32, 1});
+  const hw::BlockCost unit = unit_model.unit_cost();
+  const hw::BlockCost four_units = unit_model.units_cost(4);
+  const hw::BlockCost router = hw::router_reference_cost(1);
+  const hw::BlockCost routers64 = hw::router_reference_cost(64);
+
+  AsciiTable table({"Metric", "Ordering unit", "Four units", "One router",
+                    "64 routers", "Paper (unit/router)"});
+  table.add_row({"Power (mW)", format_double(unit.power_mw, 3),
+                 format_double(four_units.power_mw, 3),
+                 format_double(router.power_mw, 2),
+                 format_double(routers64.power_mw, 2), "2.213 / 16.92"});
+  table.add_row({"Area (kGE)", format_double(unit.kilo_ge, 2),
+                 format_double(four_units.kilo_ge, 2),
+                 format_double(router.kilo_ge, 2),
+                 format_double(routers64.kilo_ge, 2), "12.91 / 125.54"});
+  std::fputs(table.render().c_str(), stdout);
+
+  std::puts("\nStructural breakdown of the 16-lane x 32-bit unit (raw GE):");
+  AsciiTable breakdown({"Block", "GE"});
+  breakdown.add_row({"SWAR pop-count trees",
+                     format_double(unit_model.popcount_ge(), 0)});
+  breakdown.add_row({"Transposition sort network",
+                     format_double(unit_model.sorter_ge(), 0)});
+  breakdown.add_row({"Lane registers",
+                     format_double(unit_model.register_ge(), 0)});
+  std::fputs(breakdown.render().c_str(), stdout);
+
+  std::puts("\nScaling (lanes x value bits -> unit kGE / mW):");
+  AsciiTable scaling({"Configuration", "kGE", "mW", "sort cycles/batch"});
+  for (const auto& [lanes, bits] :
+       {std::pair{8u, 8u}, {16u, 8u}, {16u, 32u}, {32u, 32u}, {64u, 32u}}) {
+    const ordering::OrderingUnitConfig cfg{lanes, bits, 1};
+    const auto cost = hw::OrderingUnitCostModel(cfg).unit_cost();
+    const ordering::OrderingUnitModel timing(cfg);
+    scaling.add_row({std::to_string(lanes) + " x " + std::to_string(bits) + "b",
+                     format_double(cost.kilo_ge, 2),
+                     format_double(cost.power_mw, 3),
+                     std::to_string(timing.cycles_to_order(lanes))});
+  }
+  std::fputs(scaling.render().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Explore how BT reduction depends on the data distribution, the ordering
+// strategy, and the window size — an interactive companion to the paper's
+// Table I.
+//
+//   $ ./ordering_explorer                        # all distributions
+//   $ ./ordering_explorer dist=laplace format=fixed8 window=128
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/bt_count.h"
+#include "analysis/stream_experiment.h"
+#include "common/config.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "ordering/greedy_chain.h"
+#include "ordering/ordering.h"
+
+using namespace nocbt;
+
+namespace {
+
+std::vector<float> make_values(const std::string& dist, std::size_t n,
+                               Rng& rng) {
+  std::vector<float> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (dist == "uniform")
+      out.push_back(static_cast<float>(rng.uniform(-1.0, 1.0)));
+    else if (dist == "laplace")
+      out.push_back(static_cast<float>(rng.laplace(0.05)));
+    else if (dist == "gaussian")
+      out.push_back(static_cast<float>(rng.normal(0.0, 0.3)));
+    else if (dist == "sparse")
+      out.push_back(rng.flip(0.7) ? 0.0f
+                                  : static_cast<float>(rng.uniform(0.0, 1.0)));
+    else if (dist == "bimodal")
+      out.push_back(static_cast<float>(rng.flip(0.5) ? rng.uniform(0.9, 1.0)
+                                                     : rng.uniform(-1.0, -0.9)));
+    else
+      throw std::invalid_argument("unknown dist: " + dist);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts = Options::parse(argc, argv);
+  const auto n = static_cast<std::size_t>(opts.get_int("values", 65536));
+  const auto window = static_cast<std::size_t>(opts.get_int("window", 256));
+  const unsigned vpf = static_cast<unsigned>(opts.get_int("values_per_flit", 8));
+  const DataFormat format =
+      parse_data_format(opts.get_string("format", "fixed8"));
+
+  std::vector<std::string> dists;
+  if (opts.has("dist"))
+    dists.push_back(opts.get_string("dist", ""));
+  else
+    dists = {"uniform", "gaussian", "laplace", "sparse", "bimodal"};
+
+  std::printf("format=%s  window=%zu values  flit=%u values  n=%zu\n\n",
+              to_string(format).c_str(), window, vpf, n);
+  AsciiTable table({"Distribution", "BT/flit baseline", "popcount sort",
+                    "greedy chain", "sort reduction", "greedy reduction"});
+  Rng rng(opts.get_int("seed", 3));
+  for (const auto& dist : dists) {
+    const auto values = make_values(dist, n, rng);
+    const auto stream = analysis::make_patterns(values, format);
+    const auto base = analysis::pattern_stream_bt(stream.patterns, format, vpf);
+    const auto sorted = analysis::pattern_stream_bt(
+        ordering::order_stream_descending(stream.patterns, format, window),
+        format, vpf);
+    const auto greedy = analysis::pattern_stream_bt(
+        ordering::chain_stream_greedy(stream.patterns, format, window), format,
+        vpf);
+    auto pct = [&](const analysis::StreamBt& s) {
+      return format_percent(1.0 - s.bt_per_flit() / base.bt_per_flit());
+    };
+    table.add_row({dist, format_double(base.bt_per_flit(), 2),
+                   format_double(sorted.bt_per_flit(), 2),
+                   format_double(greedy.bt_per_flit(), 2), pct(sorted),
+                   pct(greedy)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::puts("\nZero-concentrated (laplace/sparse) and bimodal data order best;");
+  std::puts("uniform random bits are nearly incompressible by any reordering.");
+  return 0;
+}

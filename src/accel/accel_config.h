@@ -1,0 +1,69 @@
+#pragma once
+// Configuration of the NOC-DNA platform (paper §V-B defaults).
+
+#include <stdexcept>
+
+#include "accel/flitization.h"
+#include "common/data_format.h"
+#include "noc/noc_config.h"
+#include "ordering/ordering.h"
+
+namespace nocbt::accel {
+
+struct AccelConfig {
+  noc::NocConfig noc;             ///< mesh geometry, VCs, link width
+  std::int32_t num_mcs = 2;       ///< memory controllers (= ordering units)
+  DataFormat format = DataFormat::kFloat32;
+  ordering::OrderingMode mode = ordering::OrderingMode::kBaseline;
+  unsigned fixed_bits = 8;        ///< quantizer width for kFixed8
+
+  /// Ablation A2: ship the separated-ordering pairing index in-band as
+  /// extra payload flits (default: sideband metadata).
+  bool embed_pairing_index = false;
+  /// Ablation A5: model the ordering unit's sort latency at the MCs.
+  bool model_ordering_latency = false;
+
+  std::uint32_t max_outstanding_per_mc = 32;  ///< data packets in flight
+  /// Ordered-packet FIFO per MC (the "prefetch buffer" of Fig. 6). Must
+  /// cover the sort pipeline's latency/II ratio (~16 packets for separated
+  /// ordering) or the pipeline cannot fill and throughput collapses.
+  std::uint32_t prefetch_depth = 32;
+  std::uint64_t max_cycles_per_layer = 20'000'000;  ///< stall guard
+
+  /// Value-slot geometry implied by link width and data format.
+  [[nodiscard]] FlitLayout layout() const {
+    return FlitLayout{noc.flit_payload_bits / value_bits(format),
+                      value_bits(format)};
+  }
+
+  void validate() const {
+    noc.validate();
+    const unsigned vbits = value_bits(format);
+    if (noc.flit_payload_bits % vbits != 0)
+      throw std::invalid_argument("AccelConfig: link width not a multiple of value width");
+    const unsigned slots = noc.flit_payload_bits / vbits;
+    if (slots < 2 || slots % 2 != 0)
+      throw std::invalid_argument("AccelConfig: need an even number of >= 2 value slots");
+    if (num_mcs < 1 || num_mcs >= noc.node_count())
+      throw std::invalid_argument("AccelConfig: bad MC count");
+  }
+
+  /// Paper defaults: 16 value slots per flit (512-bit links for float-32,
+  /// 128-bit for fixed-8), 4 VCs with 4-flit buffers, X-Y routing.
+  [[nodiscard]] static AccelConfig defaults(DataFormat format,
+                                            ordering::OrderingMode mode,
+                                            std::int32_t rows, std::int32_t cols,
+                                            std::int32_t num_mcs) {
+    AccelConfig cfg;
+    cfg.format = format;
+    cfg.mode = mode;
+    cfg.num_mcs = num_mcs;
+    cfg.noc.rows = rows;
+    cfg.noc.cols = cols;
+    cfg.noc.flit_payload_bits = 16 * value_bits(format);
+    cfg.validate();
+    return cfg;
+  }
+};
+
+}  // namespace nocbt::accel

@@ -1,0 +1,133 @@
+#include "accel/flitization.h"
+
+#include <stdexcept>
+
+namespace nocbt::accel {
+namespace {
+
+void check_layout(const FlitLayout& layout) {
+  if (layout.values_per_flit == 0 || layout.values_per_flit % 2 != 0)
+    throw std::invalid_argument("FlitLayout: values_per_flit must be even > 0");
+  if (layout.value_bits == 0 || layout.value_bits > 32)
+    throw std::invalid_argument("FlitLayout: value_bits must be in [1, 32]");
+}
+
+}  // namespace
+
+BiasSlot bias_position(std::uint32_t n_pairs, const FlitLayout& layout) {
+  const std::uint32_t half = layout.half();
+  const std::uint32_t pair_flits = n_pairs == 0 ? 0 : (n_pairs + half - 1) / half;
+  if (pair_flits == 0) return BiasSlot{0, 0};
+  const std::uint32_t used_in_last = n_pairs - (pair_flits - 1) * half;
+  if (used_in_last < half)
+    return BiasSlot{pair_flits - 1, used_in_last};  // left half, after inputs
+  // Left half of the last flit is full (pairs fill both halves): the bias
+  // opens a fresh flit.
+  return BiasSlot{pair_flits, 0};
+}
+
+std::uint32_t flits_needed(std::uint32_t n_pairs, bool has_bias,
+                           const FlitLayout& layout) {
+  const std::uint32_t half = layout.half();
+  const std::uint32_t pair_flits = n_pairs == 0 ? 0 : (n_pairs + half - 1) / half;
+  if (!has_bias) return pair_flits ? pair_flits : 1;
+  return std::max(pair_flits, bias_position(n_pairs, layout).flit + 1);
+}
+
+std::vector<BitVec> pack_half_half(std::span<const std::uint32_t> inputs,
+                                   std::span<const std::uint32_t> weights,
+                                   std::optional<std::uint32_t> bias,
+                                   const FlitLayout& layout) {
+  check_layout(layout);
+  if (inputs.size() != weights.size())
+    throw std::invalid_argument("pack_half_half: inputs/weights size mismatch");
+  if (inputs.empty() && !bias)
+    throw std::invalid_argument("pack_half_half: nothing to pack");
+
+  const auto n_pairs = static_cast<std::uint32_t>(inputs.size());
+  const std::uint32_t half = layout.half();
+  const std::uint32_t total_flits =
+      flits_needed(n_pairs, bias.has_value(), layout);
+
+  std::vector<BitVec> flits(total_flits, BitVec(layout.flit_bits()));
+  for (std::uint32_t j = 0; j < n_pairs; ++j) {
+    const std::uint32_t f = j / half;
+    const std::uint32_t s = j % half;
+    flits[f].set_field(layout.slot_offset(s), layout.value_bits, inputs[j]);
+    flits[f].set_field(layout.slot_offset(half + s), layout.value_bits,
+                       weights[j]);
+  }
+  if (bias) {
+    const BiasSlot pos = bias_position(n_pairs, layout);
+    flits[pos.flit].set_field(layout.slot_offset(pos.slot), layout.value_bits,
+                              *bias);
+  }
+  return flits;
+}
+
+UnpackedTask unpack_half_half(std::span<const BitVec> payloads,
+                              std::uint32_t n_pairs, bool has_bias,
+                              const FlitLayout& layout) {
+  check_layout(layout);
+  if (payloads.size() < flits_needed(n_pairs, has_bias, layout))
+    throw std::invalid_argument("unpack_half_half: too few payload flits");
+
+  const std::uint32_t half = layout.half();
+  UnpackedTask out;
+  out.inputs.reserve(n_pairs);
+  out.weights.reserve(n_pairs);
+  for (std::uint32_t j = 0; j < n_pairs; ++j) {
+    const std::uint32_t f = j / half;
+    const std::uint32_t s = j % half;
+    out.inputs.push_back(static_cast<std::uint32_t>(
+        payloads[f].get_field(layout.slot_offset(s), layout.value_bits)));
+    out.weights.push_back(static_cast<std::uint32_t>(payloads[f].get_field(
+        layout.slot_offset(half + s), layout.value_bits)));
+  }
+  if (has_bias) {
+    const BiasSlot pos = bias_position(n_pairs, layout);
+    out.bias = static_cast<std::uint32_t>(payloads[pos.flit].get_field(
+        layout.slot_offset(pos.slot), layout.value_bits));
+  }
+  return out;
+}
+
+std::vector<BitVec> pack_index_flits(std::span<const std::uint32_t> indices,
+                                     unsigned bits_per_index,
+                                     unsigned flit_bits) {
+  if (bits_per_index == 0 || bits_per_index > 32)
+    throw std::invalid_argument("pack_index_flits: bad index width");
+  if (flit_bits < bits_per_index)
+    throw std::invalid_argument("pack_index_flits: flit narrower than index");
+  std::vector<BitVec> flits;
+  const unsigned per_flit = flit_bits / bits_per_index;
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    if (i % per_flit == 0) flits.emplace_back(flit_bits);
+    flits.back().set_field(static_cast<unsigned>(i % per_flit) * bits_per_index,
+                           bits_per_index, indices[i]);
+  }
+  return flits;
+}
+
+std::vector<std::uint32_t> unpack_index_flits(std::span<const BitVec> payloads,
+                                              std::size_t count,
+                                              unsigned bits_per_index) {
+  std::vector<std::uint32_t> out;
+  out.reserve(count);
+  if (payloads.empty()) {
+    if (count) throw std::invalid_argument("unpack_index_flits: no payloads");
+    return out;
+  }
+  const unsigned per_flit = payloads.front().width() / bits_per_index;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t f = i / per_flit;
+    if (f >= payloads.size())
+      throw std::invalid_argument("unpack_index_flits: too few payloads");
+    out.push_back(static_cast<std::uint32_t>(payloads[f].get_field(
+        static_cast<unsigned>(i % per_flit) * bits_per_index,
+        bits_per_index)));
+  }
+  return out;
+}
+
+}  // namespace nocbt::accel

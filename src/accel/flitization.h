@@ -1,0 +1,77 @@
+#pragma once
+// Half-half flitization (paper Fig. 2): each flit's left half carries
+// inputs, its right half the matching weights; the bias rides in the left
+// half right after the last input; remaining slots are zero.
+//
+// Example from the paper (k=5 task, 16 value slots per flit):
+//   25 inputs + 25 weights + 1 bias  ->
+//   flit0: 8i+8w | flit1: 8i+8w | flit2: 8i+8w | flit3: 1i+1w+1b+13 zeros
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/bitvec.h"
+
+namespace nocbt::accel {
+
+/// Geometry of a flit's value slots.
+struct FlitLayout {
+  unsigned values_per_flit = 16;  ///< total slots (must be even)
+  unsigned value_bits = 32;       ///< bits per slot
+
+  [[nodiscard]] unsigned half() const noexcept { return values_per_flit / 2; }
+  [[nodiscard]] unsigned flit_bits() const noexcept {
+    return values_per_flit * value_bits;
+  }
+  /// Bit offset of slot s.
+  [[nodiscard]] unsigned slot_offset(unsigned s) const noexcept {
+    return s * value_bits;
+  }
+};
+
+/// Where the bias lands for a given pair count (flit index + slot index).
+struct BiasSlot {
+  std::uint32_t flit = 0;
+  std::uint32_t slot = 0;
+};
+[[nodiscard]] BiasSlot bias_position(std::uint32_t n_pairs,
+                                     const FlitLayout& layout);
+
+/// Number of payload flits for n_pairs (+ optional bias).
+[[nodiscard]] std::uint32_t flits_needed(std::uint32_t n_pairs, bool has_bias,
+                                         const FlitLayout& layout);
+
+/// Pack (input, weight) pairs + bias into half-half flits.
+/// inputs.size() must equal weights.size() and be >= 1.
+[[nodiscard]] std::vector<BitVec> pack_half_half(
+    std::span<const std::uint32_t> inputs,
+    std::span<const std::uint32_t> weights,
+    std::optional<std::uint32_t> bias, const FlitLayout& layout);
+
+/// Decoded payload contents.
+struct UnpackedTask {
+  std::vector<std::uint32_t> inputs;
+  std::vector<std::uint32_t> weights;
+  std::optional<std::uint32_t> bias;
+};
+
+/// Inverse of pack_half_half given the pair count / bias flag metadata.
+[[nodiscard]] UnpackedTask unpack_half_half(std::span<const BitVec> payloads,
+                                            std::uint32_t n_pairs,
+                                            bool has_bias,
+                                            const FlitLayout& layout);
+
+/// Pack `indices`, each `bits_per_index` wide, densely into flit payloads
+/// (ablation A2: shipping the separated-ordering pairing index in-band).
+[[nodiscard]] std::vector<BitVec> pack_index_flits(
+    std::span<const std::uint32_t> indices, unsigned bits_per_index,
+    unsigned flit_bits);
+
+/// Inverse of pack_index_flits.
+[[nodiscard]] std::vector<std::uint32_t> unpack_index_flits(
+    std::span<const BitVec> payloads, std::size_t count,
+    unsigned bits_per_index);
+
+}  // namespace nocbt::accel

@@ -1,0 +1,65 @@
+#include "accel/mapping.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nocbt::accel {
+
+std::vector<std::int32_t> memory_controller_nodes(const noc::MeshShape& shape,
+                                                  std::int32_t num_mcs) {
+  if (num_mcs < 1 || num_mcs >= shape.node_count())
+    throw std::invalid_argument("memory_controller_nodes: bad MC count");
+
+  const std::int32_t west = (num_mcs + 1) / 2;
+  const std::int32_t east = num_mcs - west;
+  std::vector<std::int32_t> mcs;
+  mcs.reserve(static_cast<std::size_t>(num_mcs));
+
+  auto spread_rows = [&](std::int32_t count, std::int32_t col) {
+    for (std::int32_t i = 0; i < count; ++i) {
+      const std::int32_t row =
+          static_cast<std::int32_t>((i + 0.5) * shape.rows() / count);
+      mcs.push_back(shape.node_at(noc::Coord{col, std::min(row, shape.rows() - 1)}));
+    }
+  };
+  spread_rows(west, 0);
+  if (east > 0) spread_rows(east, shape.cols() - 1);
+
+  std::sort(mcs.begin(), mcs.end());
+  mcs.erase(std::unique(mcs.begin(), mcs.end()), mcs.end());
+  if (static_cast<std::int32_t>(mcs.size()) != num_mcs)
+    throw std::invalid_argument(
+        "memory_controller_nodes: mesh too small for requested MC count");
+  return mcs;
+}
+
+std::vector<std::size_t> nearest_mc_index(const noc::MeshShape& shape,
+                                          const NodeRoles& roles) {
+  std::vector<std::size_t> nearest(static_cast<std::size_t>(shape.node_count()),
+                                   0);
+  for (std::int32_t node = 0; node < shape.node_count(); ++node) {
+    std::int32_t best_dist = shape.rows() + shape.cols() + 1;
+    for (std::size_t m = 0; m < roles.mcs.size(); ++m) {
+      const std::int32_t dist = shape.manhattan(node, roles.mcs[m]);
+      if (dist < best_dist) {
+        best_dist = dist;
+        nearest[static_cast<std::size_t>(node)] = m;
+      }
+    }
+  }
+  return nearest;
+}
+
+NodeRoles assign_roles(const noc::MeshShape& shape, std::int32_t num_mcs) {
+  NodeRoles roles;
+  roles.mcs = memory_controller_nodes(shape, num_mcs);
+  roles.pes.reserve(
+      static_cast<std::size_t>(shape.node_count() - num_mcs));
+  for (std::int32_t node = 0; node < shape.node_count(); ++node) {
+    if (!std::binary_search(roles.mcs.begin(), roles.mcs.end(), node))
+      roles.pes.push_back(node);
+  }
+  return roles;
+}
+
+}  // namespace nocbt::accel

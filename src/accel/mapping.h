@@ -1,0 +1,39 @@
+#pragma once
+// Node role assignment: which mesh nodes host memory controllers (with
+// their ordering units, paper Fig. 6) and which host processing elements.
+//
+// MC placement follows Fig. 6: controllers sit on the west and east edges,
+// rows spread evenly (4x4 with 2 MCs -> nodes 8 and 11, exactly the R8/R11
+// placement drawn in the paper).
+
+#include <cstdint>
+#include <vector>
+
+#include "noc/routing.h"
+
+namespace nocbt::accel {
+
+/// Partition of mesh nodes into memory controllers and processing elements.
+struct NodeRoles {
+  std::vector<std::int32_t> mcs;
+  std::vector<std::int32_t> pes;
+};
+
+/// MC nodes for a mesh: ceil(n/2) on the west edge, the rest on the east
+/// edge, rows chosen as floor((i + 0.5) * rows / per_side).
+[[nodiscard]] std::vector<std::int32_t> memory_controller_nodes(
+    const noc::MeshShape& shape, std::int32_t num_mcs);
+
+/// Roles for every node (PEs = everything that is not an MC).
+[[nodiscard]] NodeRoles assign_roles(const noc::MeshShape& shape,
+                                     std::int32_t num_mcs);
+
+/// For every mesh node, the index (into roles.mcs) of its nearest memory
+/// controller (Manhattan distance, ties to the lower MC index). Memory
+/// traffic is served by the closest controller, so fewer MCs per mesh
+/// means longer routes — the effect behind Fig. 12's "more routers per MC
+/// increase the hops".
+[[nodiscard]] std::vector<std::size_t> nearest_mc_index(
+    const noc::MeshShape& shape, const NodeRoles& roles);
+
+}  // namespace nocbt::accel

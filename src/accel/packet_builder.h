@@ -1,0 +1,62 @@
+#pragma once
+// Task -> packet construction with transmission ordering applied (§IV).
+//
+// O0 keeps natural order; O1 (affiliated) sorts (weight, input) pairs by
+// the weight's popcount; O2 (separated) sorts weights and inputs each by
+// their own popcount and produces the pairing index needed at the PE. The
+// pairing index travels as sideband metadata by default (the paper's
+// "minimal-bit-width index"), or in-band as extra payload flits when
+// `embed_pairing_index` is set (ablation A2).
+
+#include <cstdint>
+#include <vector>
+
+#include "accel/flitization.h"
+#include "accel/value_codec.h"
+#include "accel/task.h"
+#include "ordering/ordering.h"
+
+namespace nocbt::accel {
+
+/// Sideband metadata describing a data packet (registered per packet id).
+struct TaskMeta {
+  std::int32_t layer_index = 0;
+  std::int32_t output_index = 0;
+  std::int32_t src_mc = -1;
+  std::int32_t dst_pe = -1;
+  std::uint32_t n_pairs = 0;
+  bool has_bias = true;
+  ordering::OrderingMode mode = ordering::OrderingMode::kBaseline;
+  bool index_embedded = false;
+  std::uint32_t data_flits = 0;   ///< payload flits holding values
+  std::uint32_t index_flits = 0;  ///< extra flits holding the pairing index
+  /// O2 only: pairing index (sideband copy even when embedded, for checks).
+  std::vector<std::uint32_t> pair_index;
+};
+
+/// A packet ready for injection.
+struct BuiltPacket {
+  std::vector<BitVec> payloads;
+  TaskMeta meta;
+};
+
+/// Encode, order, and flitize one task.
+[[nodiscard]] BuiltPacket build_task_packet(const NeuronTask& task,
+                                            const LayerCodecs& codecs,
+                                            ordering::OrderingMode mode,
+                                            const FlitLayout& layout,
+                                            bool embed_pairing_index = false);
+
+/// PE-side decode: recover patterns (and the pairing index if embedded).
+[[nodiscard]] UnpackedTask decode_task_packet(
+    std::span<const BitVec> payloads, const TaskMeta& meta,
+    const FlitLayout& layout, std::vector<std::uint32_t>* pair_index_out);
+
+/// PE-side compute: exact integer MAC for fixed formats (order-invariant),
+/// double accumulation for float-32. Handles O2 re-pairing via the index.
+[[nodiscard]] double compute_task_output(const UnpackedTask& task,
+                                         std::span<const std::uint32_t> pair_index,
+                                         const LayerCodecs& codecs,
+                                         ordering::OrderingMode mode);
+
+}  // namespace nocbt::accel

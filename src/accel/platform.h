@@ -1,0 +1,71 @@
+#pragma once
+// NocDnaPlatform: the full NOC-DNA of the paper's Fig. 7.
+//
+// Per weighted layer (conv/linear), every output neuron becomes a task; the
+// task's memory controller encodes, orders (O0/O1/O2), and flitizes it into
+// a packet injected toward the task's PE. The PE decodes the *transmitted
+// bits*, re-pairs if separated-ordered, computes the MAC (exact int64 for
+// fixed-8, double for float-32), and returns a single-flit result packet to
+// the originating MC, which assembles the layer's pre-activation output.
+// Non-weighted layers (activation/pooling/flatten) run host-side between
+// NoC phases, modeling near-memory processing. Bit transitions accumulate
+// in the network's recorder across the entire inference.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "accel/accel_config.h"
+#include "accel/mapping.h"
+#include "dnn/sequential.h"
+#include "noc/network.h"
+#include "noc/noc_stats.h"
+#include "noc/trace.h"
+
+namespace nocbt::accel {
+
+/// Per-NoC-phase (weighted layer) statistics.
+struct LayerRunStats {
+  std::int32_t layer_index = 0;
+  std::string layer_name;
+  std::uint64_t tasks = 0;
+  std::uint64_t data_packets = 0;
+  std::uint64_t result_packets = 0;
+  std::uint64_t data_flits = 0;
+  std::uint64_t cycles = 0;      ///< cycles spent in this layer's NoC phase
+  std::uint64_t bt = 0;          ///< in-scope BT accumulated in this phase
+};
+
+/// Result of one full inference on the platform.
+struct InferenceResult {
+  dnn::Tensor output;                ///< final model output (logits)
+  std::uint64_t total_cycles = 0;    ///< inference latency (cycles)
+  std::uint64_t bt_total = 0;        ///< in-scope BT over the whole run
+  std::uint64_t bt_all_links = 0;    ///< BT over every link class
+  std::uint64_t data_packets = 0;
+  std::uint64_t result_packets = 0;
+  std::vector<LayerRunStats> layers;
+  noc::NocStats noc_stats;
+  noc::PacketTrace trace;            ///< per-packet delivery trace (Fig. 7)
+};
+
+class NocDnaPlatform {
+ public:
+  /// The model is held by reference; host-side layers run their forward
+  /// passes during `run`, so the reference must stay valid and non-const.
+  NocDnaPlatform(AccelConfig config, dnn::Sequential& model);
+
+  /// Run one single-image inference (input batch must be 1).
+  [[nodiscard]] InferenceResult run(const dnn::Tensor& input);
+
+  [[nodiscard]] const AccelConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const NodeRoles& roles() const noexcept { return roles_; }
+
+ private:
+  AccelConfig config_;
+  dnn::Sequential& model_;
+  NodeRoles roles_;
+};
+
+}  // namespace nocbt::accel

@@ -1,0 +1,93 @@
+#include "accel/task.h"
+
+#include <stdexcept>
+
+namespace nocbt::accel {
+
+std::vector<NeuronTask> extract_conv_tasks(const dnn::Conv2d& layer,
+                                           const dnn::Tensor& input,
+                                           std::int32_t layer_index) {
+  const dnn::Shape in = input.shape();
+  if (in.n != 1)
+    throw std::invalid_argument("extract_conv_tasks: batch must be 1");
+  if (in.c != layer.in_channels())
+    throw std::invalid_argument("extract_conv_tasks: channel mismatch");
+
+  const dnn::Shape out = layer.output_shape(in);
+  const std::int32_t k = layer.kernel();
+  const std::int32_t stride = layer.stride();
+  const std::int32_t pad = layer.pad();
+  const std::size_t window =
+      static_cast<std::size_t>(layer.in_channels()) * k * k;
+
+  std::vector<NeuronTask> tasks;
+  tasks.reserve(static_cast<std::size_t>(out.c) * out.h * out.w);
+
+  // Position-major emission (output channel innermost): the controller
+  // reads each input window once and pairs it with every kernel — the
+  // output-stationary dataflow of NoC DNN accelerators. Consecutive
+  // packets therefore carry *different* kernels, which is the weight
+  // diversity the transmission ordering canonicalizes.
+  for (std::int32_t oh = 0; oh < out.h; ++oh) {
+    for (std::int32_t ow = 0; ow < out.w; ++ow) {
+      for (std::int32_t oc = 0; oc < out.c; ++oc) {
+        NeuronTask task;
+        task.layer_index = layer_index;
+        task.output_index = (oc * out.h + oh) * out.w + ow;
+        task.bias = layer.bias().at(oc, 0, 0, 0);
+        task.inputs.reserve(window);
+        task.weights.reserve(window);
+        for (std::int32_t ic = 0; ic < layer.in_channels(); ++ic) {
+          for (std::int32_t kh = 0; kh < k; ++kh) {
+            for (std::int32_t kw = 0; kw < k; ++kw) {
+              const std::int32_t ih = oh * stride - pad + kh;
+              const std::int32_t iw = ow * stride - pad + kw;
+              const bool inside =
+                  ih >= 0 && ih < in.h && iw >= 0 && iw < in.w;
+              task.inputs.push_back(inside ? input.at(0, ic, ih, iw) : 0.0f);
+              task.weights.push_back(layer.weight().at(oc, ic, kh, kw));
+            }
+          }
+        }
+        tasks.push_back(std::move(task));
+      }
+    }
+  }
+  return tasks;
+}
+
+std::vector<NeuronTask> extract_linear_tasks(const dnn::Linear& layer,
+                                             const dnn::Tensor& input,
+                                             std::int32_t layer_index) {
+  const dnn::Shape in = input.shape();
+  if (in.n != 1)
+    throw std::invalid_argument("extract_linear_tasks: batch must be 1");
+  const std::int32_t features = in.c * in.h * in.w;
+  if (features != layer.in_features())
+    throw std::invalid_argument("extract_linear_tasks: feature mismatch");
+
+  const auto flat = input.data();
+  std::vector<NeuronTask> tasks;
+  tasks.reserve(static_cast<std::size_t>(layer.out_features()));
+  for (std::int32_t o = 0; o < layer.out_features(); ++o) {
+    NeuronTask task;
+    task.layer_index = layer_index;
+    task.output_index = o;
+    task.bias = layer.bias().at(o, 0, 0, 0);
+    task.inputs.assign(flat.begin(), flat.end());
+    task.weights.reserve(static_cast<std::size_t>(features));
+    for (std::int32_t i = 0; i < features; ++i)
+      task.weights.push_back(layer.weight().at(o, i, 0, 0));
+    tasks.push_back(std::move(task));
+  }
+  return tasks;
+}
+
+double task_reference_result(const NeuronTask& task) {
+  double acc = task.bias;
+  for (std::size_t i = 0; i < task.inputs.size(); ++i)
+    acc += static_cast<double>(task.inputs[i]) * task.weights[i];
+  return acc;
+}
+
+}  // namespace nocbt::accel

@@ -1,0 +1,38 @@
+#pragma once
+// Per-neuron task extraction (paper Fig. 2: "contents of one task" = one
+// output neuron's kxk(xC) input window, matching weights, and bias).
+
+#include <cstdint>
+#include <vector>
+
+#include "dnn/conv2d.h"
+#include "dnn/linear.h"
+#include "dnn/tensor.h"
+
+namespace nocbt::accel {
+
+/// One neuron computation shipped as one packet.
+struct NeuronTask {
+  std::int32_t layer_index = 0;
+  std::int32_t output_index = 0;  ///< flat index in the layer output (n=1)
+  std::vector<float> inputs;      ///< input window (conv padding as 0.0f)
+  std::vector<float> weights;     ///< matching kernel/row values
+  float bias = 0.0f;
+};
+
+/// All tasks of a convolution layer on a single-image input (n == 1):
+/// one task per (out_channel, out_y, out_x), window flattened in
+/// (in_channel, ky, kx) order, output_index = (oc * OH + oh) * OW + ow.
+[[nodiscard]] std::vector<NeuronTask> extract_conv_tasks(
+    const dnn::Conv2d& layer, const dnn::Tensor& input,
+    std::int32_t layer_index);
+
+/// All tasks of a fully-connected layer (one per output neuron).
+[[nodiscard]] std::vector<NeuronTask> extract_linear_tasks(
+    const dnn::Linear& layer, const dnn::Tensor& input,
+    std::int32_t layer_index);
+
+/// Reference result: bias + sum(inputs[i] * weights[i]) in double.
+[[nodiscard]] double task_reference_result(const NeuronTask& task);
+
+}  // namespace nocbt::accel

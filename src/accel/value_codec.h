@@ -1,0 +1,79 @@
+#pragma once
+// Value <-> transmitted-bit-pattern codecs for the two data formats.
+//
+// Float-32 traffic carries raw IEEE-754 patterns; fixed-8 traffic carries
+// 8-bit two's-complement codes under a per-tensor symmetric scale. The
+// codec is what turns DNN values into the wire patterns whose popcounts
+// drive the ordering.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "common/data_format.h"
+#include "common/fixed_point.h"
+#include "common/float_bits.h"
+
+namespace nocbt::accel {
+
+class ValueCodec {
+ public:
+  /// Identity codec for IEEE-754 float32 patterns.
+  [[nodiscard]] static ValueCodec float32() { return ValueCodec{}; }
+
+  /// Fixed-point codec with an explicit quantizer.
+  [[nodiscard]] static ValueCodec fixed(FixedPointCodec codec) {
+    return ValueCodec(std::move(codec));
+  }
+
+  /// Fixed-point codec calibrated symmetrically on `values`.
+  [[nodiscard]] static ValueCodec fixed_calibrated(
+      unsigned bits, std::span<const float> values) {
+    return ValueCodec(FixedPointCodec::calibrate(bits, values));
+  }
+
+  [[nodiscard]] DataFormat format() const noexcept {
+    return fixed_ ? DataFormat::kFixed8 : DataFormat::kFloat32;
+  }
+  [[nodiscard]] unsigned bits() const noexcept {
+    return fixed_ ? fixed_->bits() : 32u;
+  }
+
+  /// Wire pattern for a value.
+  [[nodiscard]] std::uint32_t encode(float value) const noexcept {
+    return fixed_ ? fixed_->quantize_to_pattern(value) : float_to_bits(value);
+  }
+
+  /// Value represented by a wire pattern.
+  [[nodiscard]] float decode(std::uint32_t pattern) const noexcept {
+    return fixed_ ? static_cast<float>(
+                        fixed_->dequantize(fixed_->from_pattern(pattern)))
+                  : bits_to_float(pattern);
+  }
+
+  /// Signed integer code behind a fixed-point pattern (for exact int MACs
+  /// at the PE); only meaningful for fixed formats.
+  [[nodiscard]] std::int32_t code(std::uint32_t pattern) const noexcept {
+    return fixed_ ? fixed_->from_pattern(pattern) : 0;
+  }
+
+  /// Real value of integer code 1 (fixed formats), 0 for float.
+  [[nodiscard]] double scale() const noexcept {
+    return fixed_ ? fixed_->scale() : 0.0;
+  }
+
+ private:
+  ValueCodec() = default;
+  explicit ValueCodec(FixedPointCodec codec) : fixed_(std::move(codec)) {}
+  std::optional<FixedPointCodec> fixed_;
+};
+
+/// The three codecs a layer's traffic needs (weights, inputs, bias may have
+/// very different dynamic ranges under fixed-point).
+struct LayerCodecs {
+  ValueCodec weights;
+  ValueCodec inputs;
+  ValueCodec bias;
+};
+
+}  // namespace nocbt::accel

@@ -1,0 +1,60 @@
+#include "analysis/bit_stats.h"
+
+#include <stdexcept>
+
+namespace nocbt::analysis {
+
+std::vector<double> one_probability_per_bit(
+    std::span<const std::uint32_t> patterns, DataFormat format) {
+  const unsigned bits = value_bits(format);
+  std::vector<std::uint64_t> ones(bits, 0);
+  for (const std::uint32_t p : patterns)
+    for (unsigned b = 0; b < bits; ++b)
+      if ((p >> b) & 1u) ++ones[b];
+
+  std::vector<double> out(bits, 0.0);
+  if (patterns.empty()) return out;
+  for (unsigned b = 0; b < bits; ++b)
+    out[bits - 1 - b] =  // MSB-first presentation
+        static_cast<double>(ones[b]) / static_cast<double>(patterns.size());
+  return out;
+}
+
+std::vector<double> transition_probability_per_bit(
+    std::span<const std::uint32_t> patterns, DataFormat format,
+    unsigned values_per_flit) {
+  if (values_per_flit == 0)
+    throw std::invalid_argument("transition_probability_per_bit: zero lane count");
+  const unsigned bits = value_bits(format);
+  std::vector<std::uint64_t> flips(bits, 0);
+  std::uint64_t comparisons = 0;
+
+  // Lane l of flit f holds patterns[f * values_per_flit + l]; compare each
+  // lane across consecutive flits. Ragged tails (missing lanes in the last
+  // flit) are treated as zero-padded, matching flitize().
+  const std::size_t num_flits =
+      (patterns.size() + values_per_flit - 1) / values_per_flit;
+  for (std::size_t f = 1; f < num_flits; ++f) {
+    for (unsigned l = 0; l < values_per_flit; ++l) {
+      const std::size_t prev_idx = (f - 1) * values_per_flit + l;
+      const std::size_t cur_idx = f * values_per_flit + l;
+      const std::uint32_t prev =
+          prev_idx < patterns.size() ? patterns[prev_idx] : 0u;
+      const std::uint32_t cur =
+          cur_idx < patterns.size() ? patterns[cur_idx] : 0u;
+      const std::uint32_t diff = prev ^ cur;
+      for (unsigned b = 0; b < bits; ++b)
+        if ((diff >> b) & 1u) ++flips[b];
+      ++comparisons;
+    }
+  }
+
+  std::vector<double> out(bits, 0.0);
+  if (comparisons == 0) return out;
+  for (unsigned b = 0; b < bits; ++b)
+    out[bits - 1 - b] =
+        static_cast<double>(flips[b]) / static_cast<double>(comparisons);
+  return out;
+}
+
+}  // namespace nocbt::analysis

@@ -1,0 +1,30 @@
+#pragma once
+// Per-bit-position statistics behind Figs. 10-11: the probability of a '1'
+// at each bit position of the transmitted values, and the probability of a
+// transition at each position between corresponding value lanes of
+// consecutive flits.
+//
+// Bit positions are reported MSB-first (index 0 = sign bit for float-32),
+// matching the figures' x-axes.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/data_format.h"
+
+namespace nocbt::analysis {
+
+/// P('1' at position b), b = 0 is the MSB. Computed over all patterns.
+[[nodiscard]] std::vector<double> one_probability_per_bit(
+    std::span<const std::uint32_t> patterns, DataFormat format);
+
+/// P(transition at position b) between value lane slots of consecutive
+/// flits: the pattern stream is grouped into flits of `values_per_flit`
+/// slots; for each consecutive flit pair and each lane the per-bit XOR is
+/// tallied. b = 0 is the MSB.
+[[nodiscard]] std::vector<double> transition_probability_per_bit(
+    std::span<const std::uint32_t> patterns, DataFormat format,
+    unsigned values_per_flit);
+
+}  // namespace nocbt::analysis

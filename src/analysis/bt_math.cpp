@@ -1,0 +1,61 @@
+#include "analysis/bt_math.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace nocbt::analysis {
+
+double transition_probability(int x, int y, int width) {
+  if (width <= 0 || x < 0 || y < 0 || x > width || y > width)
+    throw std::invalid_argument("transition_probability: counts out of range");
+  const double w = width;
+  return 1.0 - ((w - x) * (w - y)) / (w * w) - (static_cast<double>(x) * y) / (w * w);
+}
+
+double expected_bt(int x, int y, int width) {
+  return width * transition_probability(x, y, width);
+}
+
+double expected_flit_bt(std::span<const int> x, std::span<const int> y,
+                        int width) {
+  if (x.size() != y.size())
+    throw std::invalid_argument("expected_flit_bt: length mismatch");
+  double total = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i)
+    total += expected_bt(x[i], y[i], width);
+  return total;
+}
+
+std::vector<std::vector<double>> expectation_surface(int width) {
+  std::vector<std::vector<double>> grid(
+      static_cast<std::size_t>(width) + 1,
+      std::vector<double>(static_cast<std::size_t>(width) + 1, 0.0));
+  for (int x = 0; x <= width; ++x)
+    for (int y = 0; y <= width; ++y)
+      grid[static_cast<std::size_t>(x)][static_cast<std::size_t>(y)] =
+          expected_bt(x, y, width);
+  return grid;
+}
+
+double monte_carlo_expected_bt(int x, int y, int width, int trials, Rng& rng) {
+  std::vector<int> positions(static_cast<std::size_t>(width));
+  std::iota(positions.begin(), positions.end(), 0);
+
+  std::int64_t total = 0;
+  std::vector<bool> a(static_cast<std::size_t>(width));
+  std::vector<bool> b(static_cast<std::size_t>(width));
+  for (int t = 0; t < trials; ++t) {
+    std::fill(a.begin(), a.end(), false);
+    std::fill(b.begin(), b.end(), false);
+    std::shuffle(positions.begin(), positions.end(), rng.engine());
+    for (int i = 0; i < x; ++i) a[static_cast<std::size_t>(positions[i])] = true;
+    std::shuffle(positions.begin(), positions.end(), rng.engine());
+    for (int i = 0; i < y; ++i) b[static_cast<std::size_t>(positions[i])] = true;
+    for (int i = 0; i < width; ++i)
+      total += a[static_cast<std::size_t>(i)] != b[static_cast<std::size_t>(i)];
+  }
+  return static_cast<double>(total) / trials;
+}
+
+}  // namespace nocbt::analysis

@@ -1,0 +1,39 @@
+#pragma once
+// The paper's analytic BT model (§III-A, Eqs. 1-3) and the Fig. 1 surface.
+//
+// Model: two W-bit numbers with x and y '1'-bits, bit positions i.i.d.
+// uniform. P(transition on one wire) = 1 - P(both 0) - P(both 1)
+// = 1 - (W-x)(W-y)/W^2 - xy/W^2, and E[BT] = W * P = x + y - 2xy/W.
+// For W = 32 this is Eq. 2's  x + y - xy/16.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace nocbt::analysis {
+
+/// Per-wire transition probability (Eq. 1 generalized to width W).
+[[nodiscard]] double transition_probability(int x, int y, int width);
+
+/// Expected bit transitions between two W-bit numbers (Eq. 2).
+[[nodiscard]] double expected_bt(int x, int y, int width);
+
+/// Expected total BT between two flits of N numbers each (Eq. 3):
+/// sum(x) + sum(y) - 2 * sum(x_i y_i) / W.
+[[nodiscard]] double expected_flit_bt(std::span<const int> x,
+                                      std::span<const int> y, int width);
+
+/// The Fig. 1 surface: expected_bt for every (x, y) in [0, width]^2.
+/// Element [x][y] of the returned grid.
+[[nodiscard]] std::vector<std::vector<double>> expectation_surface(int width);
+
+/// Monte-Carlo estimate of E[BT] under the model's assumptions: place x
+/// (resp. y) ones uniformly at random among `width` positions and count
+/// actual transitions; average over `trials`. Tests use this to validate
+/// the closed form.
+[[nodiscard]] double monte_carlo_expected_bt(int x, int y, int width,
+                                             int trials, Rng& rng);
+
+}  // namespace nocbt::analysis

@@ -1,0 +1,60 @@
+#pragma once
+// The "BT reduction without NoC" experiment (§V-A, Table I): generate
+// packets from a real weight stream, order each packet's values by
+// descending popcount, and compare bit transitions between consecutive
+// flits against the unordered baseline.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/data_format.h"
+#include "common/fixed_point.h"
+
+namespace nocbt::analysis {
+
+/// Configuration of one Table I row. Defaults mirror the paper: 8 values
+/// per flit and 10,000 packets.
+struct StreamExperimentConfig {
+  DataFormat format = DataFormat::kFloat32;
+  unsigned values_per_flit = 8;
+  unsigned flits_per_packet = 32;  ///< ordering window, in flits
+  std::size_t num_packets = 10'000;
+  unsigned fixed_bits = 8;  ///< quantizer width when format == kFixed8
+};
+
+/// Result of one experiment run.
+struct StreamExperimentResult {
+  double baseline_bt_per_flit = 0.0;
+  double ordered_bt_per_flit = 0.0;
+  std::uint64_t flits = 0;          ///< flits measured (per variant)
+  unsigned flit_bits = 0;           ///< link width used
+  [[nodiscard]] double reduction() const noexcept {
+    return baseline_bt_per_flit > 0.0
+               ? 1.0 - ordered_bt_per_flit / baseline_bt_per_flit
+               : 0.0;
+  }
+};
+
+/// Convert a float value stream to transmit patterns. For fixed-8 the codec
+/// is calibrated symmetrically on the stream (max-abs); it is returned so
+/// callers can reuse the same quantization.
+struct PatternStream {
+  std::vector<std::uint32_t> patterns;
+  std::optional<FixedPointCodec> codec;  ///< set for fixed-point formats
+};
+[[nodiscard]] PatternStream make_patterns(std::span<const float> values,
+                                          DataFormat format,
+                                          unsigned fixed_bits = 8);
+
+/// Tile `patterns` (repeating from the start) until it holds exactly
+/// `count` entries.
+[[nodiscard]] std::vector<std::uint32_t> tile_patterns(
+    std::span<const std::uint32_t> patterns, std::size_t count);
+
+/// Run the full Table I experiment on a weight stream.
+[[nodiscard]] StreamExperimentResult run_stream_experiment(
+    std::span<const float> values, const StreamExperimentConfig& config);
+
+}  // namespace nocbt::analysis

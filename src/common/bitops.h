@@ -1,0 +1,69 @@
+#pragma once
+// Low-level bit manipulation helpers shared across the library.
+//
+// Everything here is constexpr/noexcept and header-only: these functions sit
+// on the hot path of bit-transition counting (XOR + popcount per flit per
+// link per cycle).
+
+#include <bit>
+#include <cstdint>
+#include <span>
+
+namespace nocbt {
+
+/// Number of '1' bits in an 8-bit pattern.
+[[nodiscard]] constexpr int popcount8(std::uint8_t v) noexcept {
+  return std::popcount(static_cast<unsigned>(v));
+}
+
+/// Number of '1' bits in a 32-bit pattern.
+[[nodiscard]] constexpr int popcount32(std::uint32_t v) noexcept {
+  return std::popcount(v);
+}
+
+/// Number of '1' bits in a 64-bit pattern.
+[[nodiscard]] constexpr int popcount64(std::uint64_t v) noexcept {
+  return std::popcount(v);
+}
+
+/// Bit transitions between two equal-width words: the number of wire
+/// positions whose value differs ('0'->'1' or '1'->'0'), i.e. popcount(XOR).
+[[nodiscard]] constexpr int transitions(std::uint64_t a, std::uint64_t b) noexcept {
+  return std::popcount(a ^ b);
+}
+
+/// Bit transitions between two equal-length word sequences.
+[[nodiscard]] inline int transitions(std::span<const std::uint64_t> a,
+                                     std::span<const std::uint64_t> b) noexcept {
+  const std::size_t n = a.size() < b.size() ? a.size() : b.size();
+  int total = 0;
+  for (std::size_t i = 0; i < n; ++i) total += std::popcount(a[i] ^ b[i]);
+  return total;
+}
+
+/// Mask with the low `bits` bits set (bits in [0, 64]).
+[[nodiscard]] constexpr std::uint64_t low_mask(unsigned bits) noexcept {
+  return bits >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << bits) - 1);
+}
+
+/// Classic SWAR ("SIMD Within A Register") popcount for 32-bit words.
+///
+/// Functionally identical to std::popcount; kept as an explicit reference
+/// model of the hardware pop-count stage of the ordering unit (paper Fig. 14
+/// names SWAR as the implemented circuit), and used by tests and by the
+/// gate-level cost model to derive adder counts.
+[[nodiscard]] constexpr int swar_popcount32(std::uint32_t v) noexcept {
+  v = v - ((v >> 1) & 0x55555555u);
+  v = (v & 0x33333333u) + ((v >> 2) & 0x33333333u);
+  v = (v + (v >> 4)) & 0x0F0F0F0Fu;
+  return static_cast<int>((v * 0x01010101u) >> 24);
+}
+
+/// Number of bits needed to represent values in [0, n-1]; at least 1.
+[[nodiscard]] constexpr unsigned index_bits(std::size_t n) noexcept {
+  unsigned bits = 1;
+  while ((std::size_t{1} << bits) < n) ++bits;
+  return bits;
+}
+
+}  // namespace nocbt

@@ -1,0 +1,35 @@
+#include "common/bitvec.h"
+
+namespace nocbt {
+
+std::uint64_t BitVec::get_field(unsigned pos, unsigned bits) const noexcept {
+  if (bits == 0) return 0;
+  const unsigned word = pos >> 6;
+  const unsigned shift = pos & 63;
+  std::uint64_t value = words_[word] >> shift;
+  if (shift + bits > 64 && word + 1 < words_.size())
+    value |= words_[word + 1] << (64 - shift);
+  return value & low_mask(bits);
+}
+
+void BitVec::set_field(unsigned pos, unsigned bits, std::uint64_t value) noexcept {
+  if (bits == 0) return;
+  value &= low_mask(bits);
+  const unsigned word = pos >> 6;
+  const unsigned shift = pos & 63;
+  words_[word] = (words_[word] & ~(low_mask(bits) << shift)) | (value << shift);
+  if (shift + bits > 64 && word + 1 < words_.size()) {
+    const unsigned high_bits = shift + bits - 64;
+    words_[word + 1] =
+        (words_[word + 1] & ~low_mask(high_bits)) | (value >> (64 - shift));
+  }
+}
+
+std::string BitVec::to_string() const {
+  std::string s;
+  s.reserve(width_);
+  for (unsigned i = width_; i-- > 0;) s.push_back(get_bit(i) ? '1' : '0');
+  return s;
+}
+
+}  // namespace nocbt

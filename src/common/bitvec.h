@@ -1,0 +1,92 @@
+#pragma once
+// BitVec: a fixed-width bit vector backed by 64-bit words.
+//
+// BitVec is the payload type of a flit: a 512-bit link carries a 512-bit
+// BitVec per flit, a 128-bit link a 128-bit one. The class supports the two
+// operations the simulator needs on its hot path — XOR-transition counting
+// against another vector (BT recording, paper Fig. 8) and bit-field
+// read/write (placing value patterns into flit slots).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bitops.h"
+
+namespace nocbt {
+
+/// Fixed-width bit vector. Bit 0 is the least-significant bit of word 0.
+/// Unused high bits of the last word are always kept zero, so whole-word
+/// operations (XOR/popcount/compare) need no masking.
+class BitVec {
+ public:
+  BitVec() = default;
+
+  /// Construct an all-zero vector of `width_bits` bits.
+  explicit BitVec(unsigned width_bits)
+      : width_(width_bits), words_((width_bits + 63) / 64, 0) {}
+
+  [[nodiscard]] unsigned width() const noexcept { return width_; }
+  [[nodiscard]] std::size_t word_count() const noexcept { return words_.size(); }
+
+  /// Read a single bit (pos < width()).
+  [[nodiscard]] bool get_bit(unsigned pos) const noexcept {
+    return (words_[pos >> 6] >> (pos & 63)) & 1u;
+  }
+
+  /// Write a single bit (pos < width()).
+  void set_bit(unsigned pos, bool value) noexcept {
+    const std::uint64_t mask = std::uint64_t{1} << (pos & 63);
+    if (value)
+      words_[pos >> 6] |= mask;
+    else
+      words_[pos >> 6] &= ~mask;
+  }
+
+  /// Read `bits` (<= 64) bits starting at bit offset `pos`.
+  [[nodiscard]] std::uint64_t get_field(unsigned pos, unsigned bits) const noexcept;
+
+  /// Write the low `bits` (<= 64) bits of `value` at bit offset `pos`.
+  /// Bits of `value` above `bits` are ignored.
+  void set_field(unsigned pos, unsigned bits, std::uint64_t value) noexcept;
+
+  /// Number of '1' bits in the whole vector.
+  [[nodiscard]] int popcount() const noexcept {
+    int total = 0;
+    for (std::uint64_t w : words_) total += popcount64(w);
+    return total;
+  }
+
+  /// Bit transitions against another vector of the same width:
+  /// popcount(this XOR other). This is the quantity accumulated per link by
+  /// the BT recorder.
+  [[nodiscard]] int transitions_to(const BitVec& other) const noexcept {
+    int total = 0;
+    const std::size_t n = words_.size() < other.words_.size() ? words_.size()
+                                                              : other.words_.size();
+    for (std::size_t i = 0; i < n; ++i)
+      total += popcount64(words_[i] ^ other.words_[i]);
+    return total;
+  }
+
+  /// Set every bit to zero, keeping the width.
+  void clear() noexcept {
+    for (auto& w : words_) w = 0;
+  }
+
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const noexcept { return words_; }
+
+  friend bool operator==(const BitVec& a, const BitVec& b) noexcept {
+    return a.width_ == b.width_ && a.words_ == b.words_;
+  }
+
+  /// Binary string, most-significant bit first (for debugging and Fig. 9
+  /// style dumps).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  unsigned width_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace nocbt

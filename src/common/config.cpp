@@ -1,0 +1,57 @@
+#include "common/config.h"
+
+#include <stdexcept>
+
+namespace nocbt {
+
+Options Options::parse(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos || eq == 0)
+      throw std::invalid_argument("Options: expected key=value, got '" + arg + "'");
+    opts.values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+  }
+  return opts;
+}
+
+std::string Options::get_string(const std::string& key,
+                                const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Options::get_int(const std::string& key,
+                              std::int64_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stoll(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("Options: '" + key + "' is not an integer: " +
+                                it->second);
+  }
+}
+
+double Options::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("Options: '" + key + "' is not a number: " +
+                                it->second);
+  }
+}
+
+bool Options::get_bool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  throw std::invalid_argument("Options: '" + key + "' is not a bool: " + v);
+}
+
+}  // namespace nocbt

@@ -1,0 +1,41 @@
+#pragma once
+// Tiny "key=value" option parser used by the example binaries so every
+// example can be reconfigured from the command line without a CLI framework.
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+
+namespace nocbt {
+
+/// Parses arguments of the form `key=value`; anything else throws.
+/// Typed getters fall back to a default when the key is absent and throw
+/// std::invalid_argument on malformed values.
+class Options {
+ public:
+  Options() = default;
+
+  /// Parse from argv[1..argc-1].
+  static Options parse(int argc, char** argv);
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return values_.count(key) != 0;
+  }
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  /// All parsed key/value pairs (for echoing the configuration).
+  [[nodiscard]] const std::map<std::string, std::string>& values() const {
+    return values_;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace nocbt

@@ -1,0 +1,44 @@
+#include "common/csv.h"
+
+#include <stdexcept>
+
+namespace nocbt {
+namespace {
+
+bool needs_quoting(const std::string& cell) {
+  return cell.find_first_of(",\"\n") != std::string::npos;
+}
+
+std::string quote(const std::string& cell) {
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& headers)
+    : out_(path) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  write_row(headers);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  write_row(cells);
+  ++rows_;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << (needs_quoting(cells[i]) ? quote(cells[i]) : cells[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace nocbt

@@ -1,0 +1,31 @@
+#pragma once
+// Minimal CSV writer for traffic traces and per-bit-position statistics
+// (the data behind Figs. 10-11 and the packet trace output of Fig. 7).
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace nocbt {
+
+/// Streams rows of comma-separated values to a file. Cells containing a
+/// comma, quote, or newline are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  /// Throws std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& headers);
+
+  /// Append one data row.
+  void add_row(const std::vector<std::string>& cells);
+
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  void write_row(const std::vector<std::string>& cells);
+
+  std::ofstream out_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace nocbt

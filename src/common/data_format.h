@@ -1,0 +1,40 @@
+#pragma once
+// The two transmitted data formats of the paper's evaluation: 32-bit IEEE
+// float ("float-32") and 8-bit two's-complement fixed point ("fixed-8").
+// A value's bit pattern is always carried in the low `value_bits()` bits of
+// a uint32_t.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "common/bitops.h"
+
+namespace nocbt {
+
+enum class DataFormat : std::uint8_t { kFloat32, kFixed8 };
+
+/// Payload bits per transmitted value.
+[[nodiscard]] constexpr unsigned value_bits(DataFormat format) noexcept {
+  return format == DataFormat::kFloat32 ? 32u : 8u;
+}
+
+/// Popcount of a value pattern in the given format (the ordering key).
+[[nodiscard]] constexpr int pattern_popcount(std::uint32_t pattern,
+                                             DataFormat format) noexcept {
+  return format == DataFormat::kFloat32
+             ? popcount32(pattern)
+             : popcount8(static_cast<std::uint8_t>(pattern));
+}
+
+[[nodiscard]] inline std::string to_string(DataFormat format) {
+  return format == DataFormat::kFloat32 ? "float-32" : "fixed-8";
+}
+
+[[nodiscard]] inline DataFormat parse_data_format(const std::string& s) {
+  if (s == "float32" || s == "float-32" || s == "fp32") return DataFormat::kFloat32;
+  if (s == "fixed8" || s == "fixed-8" || s == "int8") return DataFormat::kFixed8;
+  throw std::invalid_argument("parse_data_format: unknown format '" + s + "'");
+}
+
+}  // namespace nocbt

@@ -1,0 +1,59 @@
+#include "common/fixed_point.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/bitops.h"
+
+namespace nocbt {
+
+FixedPointCodec::FixedPointCodec(unsigned bits, double scale)
+    : bits_(bits),
+      scale_(scale),
+      max_code_((std::int32_t{1} << (bits - 1)) - 1),
+      mask_(static_cast<std::uint32_t>(low_mask(bits))) {
+  if (bits < 2 || bits > 16)
+    throw std::invalid_argument("FixedPointCodec: bits must be in [2, 16]");
+  if (!(scale > 0.0))
+    throw std::invalid_argument("FixedPointCodec: scale must be positive");
+}
+
+std::int32_t FixedPointCodec::quantize(double value) const noexcept {
+  const double scaled = value / scale_;
+  const double rounded = std::nearbyint(scaled);
+  const double clamped = std::clamp(rounded, static_cast<double>(-max_code_),
+                                    static_cast<double>(max_code_));
+  return static_cast<std::int32_t>(clamped);
+}
+
+std::int32_t FixedPointCodec::from_pattern(std::uint32_t pattern) const noexcept {
+  pattern &= mask_;
+  const std::uint32_t sign_bit = std::uint32_t{1} << (bits_ - 1);
+  if (pattern & sign_bit) {
+    // Sign-extend.
+    return static_cast<std::int32_t>(pattern | ~mask_);
+  }
+  return static_cast<std::int32_t>(pattern);
+}
+
+FixedPointCodec FixedPointCodec::calibrate(unsigned bits,
+                                           std::span<const float> values) {
+  float max_abs = 0.0f;
+  for (float v : values) max_abs = std::max(max_abs, std::fabs(v));
+  const std::int32_t max_code = (std::int32_t{1} << (bits - 1)) - 1;
+  const double scale = max_abs > 0.0f
+                           ? static_cast<double>(max_abs) / max_code
+                           : 1.0;
+  return FixedPointCodec(bits, scale);
+}
+
+std::vector<std::uint32_t> quantize_all(const FixedPointCodec& codec,
+                                        std::span<const float> values) {
+  std::vector<std::uint32_t> out;
+  out.reserve(values.size());
+  for (float v : values) out.push_back(codec.quantize_to_pattern(v));
+  return out;
+}
+
+}  // namespace nocbt

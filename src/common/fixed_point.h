@@ -1,0 +1,64 @@
+#pragma once
+// Signed Q-format fixed-point codec (default: 8-bit, the paper's "fixed-8").
+//
+// The paper transmits 8-bit fixed-point values as two's-complement patterns;
+// the ordering key is the popcount of that pattern. We use a symmetric
+// per-tensor scale: real = code * scale, code in [-(2^(B-1)-1), 2^(B-1)-1]
+// (the most negative code is unused so the range is symmetric, the common
+// convention for DNN quantization).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace nocbt {
+
+/// Quantizer for B-bit signed fixed point with a fixed scale.
+class FixedPointCodec {
+ public:
+  /// `bits` in [2, 16]; `scale` is the real value of code 1 and must be > 0.
+  FixedPointCodec(unsigned bits, double scale);
+
+  [[nodiscard]] unsigned bits() const noexcept { return bits_; }
+  [[nodiscard]] double scale() const noexcept { return scale_; }
+  [[nodiscard]] std::int32_t max_code() const noexcept { return max_code_; }
+  [[nodiscard]] std::int32_t min_code() const noexcept { return -max_code_; }
+
+  /// Quantize a real value: round to nearest code, saturate at the range ends.
+  [[nodiscard]] std::int32_t quantize(double value) const noexcept;
+
+  /// Real value of a code.
+  [[nodiscard]] double dequantize(std::int32_t code) const noexcept {
+    return static_cast<double>(code) * scale_;
+  }
+
+  /// Two's-complement bit pattern (low `bits()` bits) of a code.
+  [[nodiscard]] std::uint32_t to_pattern(std::int32_t code) const noexcept {
+    return static_cast<std::uint32_t>(code) & mask_;
+  }
+
+  /// Code from a two's-complement pattern (sign-extends bit bits()-1).
+  [[nodiscard]] std::int32_t from_pattern(std::uint32_t pattern) const noexcept;
+
+  /// Quantize directly to a bit pattern.
+  [[nodiscard]] std::uint32_t quantize_to_pattern(double value) const noexcept {
+    return to_pattern(quantize(value));
+  }
+
+  /// Scale chosen so that max(|values|) maps to the largest code
+  /// (symmetric per-tensor calibration). Returns a codec with that scale;
+  /// for an all-zero span the scale falls back to 1.
+  static FixedPointCodec calibrate(unsigned bits, std::span<const float> values);
+
+ private:
+  unsigned bits_;
+  double scale_;
+  std::int32_t max_code_;
+  std::uint32_t mask_;
+};
+
+/// Quantize a whole buffer to patterns with one shared codec.
+[[nodiscard]] std::vector<std::uint32_t> quantize_all(const FixedPointCodec& codec,
+                                                      std::span<const float> values);
+
+}  // namespace nocbt

@@ -1,0 +1,58 @@
+#pragma once
+// Seeded random number generation.
+//
+// Every stochastic component (weight init, synthetic dataset, traffic
+// jitter) draws from an explicitly seeded Rng so that all experiments are
+// bit-reproducible. There is intentionally no global generator.
+
+#include <cstdint>
+#include <random>
+
+namespace nocbt {
+
+/// Thin wrapper over std::mt19937_64 with convenience draws.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Standard normal scaled to the given mean / stddev.
+  [[nodiscard]] double normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Laplace(0, b): the classic heavy-at-zero distribution of trained DNN
+  /// weights (used for "trained-like" weight synthesis).
+  [[nodiscard]] double laplace(double b) {
+    const double u = uniform(-0.5, 0.5);
+    const double sign = u < 0 ? -1.0 : 1.0;
+    return -b * sign * std::log(1.0 - 2.0 * std::fabs(u));
+  }
+
+  /// Bernoulli draw.
+  [[nodiscard]] bool flip(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Raw 64-bit draw.
+  [[nodiscard]] std::uint64_t bits64() { return engine_(); }
+
+  /// Derive an independent child generator (stable split for sub-components).
+  [[nodiscard]] Rng split() { return Rng(engine_() ^ 0x9E3779B97F4A7C15ull); }
+
+  [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace nocbt

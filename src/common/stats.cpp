@@ -1,0 +1,74 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nocbt {
+
+void RunningStat::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const noexcept {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStat::stddev() const noexcept { return std::sqrt(variance()); }
+
+void RunningStat::merge(const RunningStat& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double total = static_cast<double>(n_ + other.n_);
+  const double delta = other.mean_ - mean_;
+  const double new_mean =
+      mean_ + delta * static_cast<double>(other.n_) / total;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                         static_cast<double>(other.n_) / total;
+  mean_ = new_mean;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+void Histogram::add(std::int64_t value) noexcept {
+  if (bins_.empty()) return;
+  const auto last = static_cast<std::int64_t>(bins_.size()) - 1;
+  const std::int64_t idx = std::clamp<std::int64_t>(value, 0, last);
+  ++bins_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::mean() const noexcept {
+  if (total_ == 0) return 0.0;
+  double weighted = 0.0;
+  for (std::size_t i = 0; i < bins_.size(); ++i)
+    weighted += static_cast<double>(i) * static_cast<double>(bins_[i]);
+  return weighted / static_cast<double>(total_);
+}
+
+std::size_t Histogram::quantile(double q) const noexcept {
+  if (total_ == 0) return 0;
+  const double target = q * static_cast<double>(total_);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    cumulative += static_cast<double>(bins_[i]);
+    if (cumulative >= target) return i;
+  }
+  return bins_.size() - 1;
+}
+
+}  // namespace nocbt

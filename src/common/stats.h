@@ -1,0 +1,56 @@
+#pragma once
+// Streaming statistics and histograms used by the evaluation harness.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace nocbt {
+
+/// Numerically stable running mean / variance / min / max (Welford).
+class RunningStat {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;  ///< population variance
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+  /// Merge another accumulator into this one.
+  void merge(const RunningStat& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-bin integer histogram over [0, num_bins); out-of-range samples are
+/// clamped into the edge bins.
+class Histogram {
+ public:
+  explicit Histogram(std::size_t num_bins) : bins_(num_bins, 0) {}
+
+  void add(std::int64_t value) noexcept;
+
+  [[nodiscard]] std::size_t num_bins() const noexcept { return bins_.size(); }
+  [[nodiscard]] std::uint64_t bin(std::size_t i) const noexcept { return bins_[i]; }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] double mean() const noexcept;
+  /// Smallest bin index b such that at least `q` (0..1) of the mass is at or
+  /// below b; 0 for an empty histogram.
+  [[nodiscard]] std::size_t quantile(double q) const noexcept;
+
+ private:
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace nocbt

@@ -1,0 +1,38 @@
+#pragma once
+// ASCII table rendering for the benchmark harness: every bench binary prints
+// the rows of the paper table/figure it regenerates through this printer so
+// output is uniform and easy to diff against EXPERIMENTS.md.
+
+#include <string>
+#include <vector>
+
+namespace nocbt {
+
+/// Column-aligned ASCII table with a header row.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Append one row; the cell count should match the header count.
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Render with box-drawing separators.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision float formatting ("%.2f" style) without iostream noise.
+[[nodiscard]] std::string format_double(double value, int decimals);
+
+/// Format a fraction as a percentage string, e.g. 0.2038 -> "20.38%".
+[[nodiscard]] std::string format_percent(double fraction, int decimals = 2);
+
+}  // namespace nocbt

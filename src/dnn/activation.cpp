@@ -1,0 +1,65 @@
+#include "dnn/activation.h"
+
+#include <cmath>
+
+namespace nocbt::dnn {
+
+Tensor Relu::forward(const Tensor& input) {
+  cached_input_ = input;
+  Tensor out = input;
+  for (auto& v : out.data())
+    if (v < 0.0f) v = 0.0f;
+  return out;
+}
+
+Tensor Relu::backward(const Tensor& grad_output) {
+  Tensor grad = grad_output;
+  auto g = grad.data();
+  auto x = cached_input_.data();
+  for (std::size_t i = 0; i < g.size(); ++i)
+    if (x[i] <= 0.0f) g[i] = 0.0f;
+  return grad;
+}
+
+Tensor LeakyRelu::forward(const Tensor& input) {
+  cached_input_ = input;
+  Tensor out = input;
+  for (auto& v : out.data())
+    if (v < 0.0f) v *= slope_;
+  return out;
+}
+
+Tensor LeakyRelu::backward(const Tensor& grad_output) {
+  Tensor grad = grad_output;
+  auto g = grad.data();
+  auto x = cached_input_.data();
+  for (std::size_t i = 0; i < g.size(); ++i)
+    if (x[i] <= 0.0f) g[i] *= slope_;
+  return grad;
+}
+
+Tensor Tanh::forward(const Tensor& input) {
+  Tensor out = input;
+  for (auto& v : out.data()) v = std::tanh(v);
+  cached_output_ = out;
+  return out;
+}
+
+Tensor Tanh::backward(const Tensor& grad_output) {
+  Tensor grad = grad_output;
+  auto g = grad.data();
+  auto y = cached_output_.data();
+  for (std::size_t i = 0; i < g.size(); ++i) g[i] *= 1.0f - y[i] * y[i];
+  return grad;
+}
+
+Tensor Flatten::forward(const Tensor& input) {
+  cached_in_shape_ = input.shape();
+  return input.reshaped(output_shape(input.shape()));
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  return grad_output.reshaped(cached_in_shape_);
+}
+
+}  // namespace nocbt::dnn

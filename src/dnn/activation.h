@@ -1,0 +1,73 @@
+#pragma once
+// Elementwise activations: ReLU, LeakyReLU (DarkNet's default) and Tanh
+// (classic LeNet-5), with backward passes.
+
+#include <string>
+
+#include "dnn/layer.h"
+
+namespace nocbt::dnn {
+
+class Relu final : public Layer {
+ public:
+  [[nodiscard]] LayerKind kind() const noexcept override {
+    return LayerKind::kRelu;
+  }
+  [[nodiscard]] std::string name() const override { return "relu"; }
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] Shape output_shape(Shape input) const override { return input; }
+
+ private:
+  Tensor cached_input_;
+};
+
+class LeakyRelu final : public Layer {
+ public:
+  explicit LeakyRelu(float slope = 0.1f) : slope_(slope) {}
+  [[nodiscard]] LayerKind kind() const noexcept override {
+    return LayerKind::kLeakyRelu;
+  }
+  [[nodiscard]] std::string name() const override { return "leaky_relu"; }
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] Shape output_shape(Shape input) const override { return input; }
+  [[nodiscard]] float slope() const noexcept { return slope_; }
+
+ private:
+  float slope_;
+  Tensor cached_input_;
+};
+
+class Tanh final : public Layer {
+ public:
+  [[nodiscard]] LayerKind kind() const noexcept override {
+    return LayerKind::kTanh;
+  }
+  [[nodiscard]] std::string name() const override { return "tanh"; }
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] Shape output_shape(Shape input) const override { return input; }
+
+ private:
+  Tensor cached_output_;  // tanh' = 1 - y^2
+};
+
+/// Shape adapter from NCHW feature maps to {n, features, 1, 1} vectors.
+class Flatten final : public Layer {
+ public:
+  [[nodiscard]] LayerKind kind() const noexcept override {
+    return LayerKind::kFlatten;
+  }
+  [[nodiscard]] std::string name() const override { return "flatten"; }
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] Shape output_shape(Shape input) const override {
+    return Shape{input.n, input.c * input.h * input.w, 1, 1};
+  }
+
+ private:
+  Shape cached_in_shape_;
+};
+
+}  // namespace nocbt::dnn

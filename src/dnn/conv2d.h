@@ -1,0 +1,61 @@
+#pragma once
+// 2-D convolution with bias (direct algorithm), forward and backward.
+//
+// This layer is the main task source for the NOC-DNA platform: each output
+// neuron (one output pixel of one output channel) becomes one task/packet
+// carrying its kxkxC_in input window, the matching weights, and the bias
+// (paper Fig. 2).
+
+#include <string>
+
+#include "common/rng.h"
+#include "dnn/layer.h"
+
+namespace nocbt::dnn {
+
+class Conv2d final : public Layer {
+ public:
+  /// Kernel is square (k x k); `pad` is symmetric zero padding.
+  Conv2d(std::int32_t in_channels, std::int32_t out_channels, std::int32_t kernel,
+         std::int32_t stride = 1, std::int32_t pad = 0);
+
+  [[nodiscard]] LayerKind kind() const noexcept override {
+    return LayerKind::kConv2d;
+  }
+  [[nodiscard]] std::string name() const override;
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<ParamRef> params() override;
+  [[nodiscard]] Shape output_shape(Shape input) const override;
+
+  /// Kaiming-uniform initialization (fan-in based), zero bias.
+  void init_kaiming(Rng& rng);
+
+  [[nodiscard]] std::int32_t in_channels() const noexcept { return in_channels_; }
+  [[nodiscard]] std::int32_t out_channels() const noexcept { return out_channels_; }
+  [[nodiscard]] std::int32_t kernel() const noexcept { return kernel_; }
+  [[nodiscard]] std::int32_t stride() const noexcept { return stride_; }
+  [[nodiscard]] std::int32_t pad() const noexcept { return pad_; }
+
+  /// Weights, shape {out_channels, in_channels, kernel, kernel}.
+  [[nodiscard]] const Tensor& weight() const noexcept { return weight_; }
+  [[nodiscard]] Tensor& weight() noexcept { return weight_; }
+  /// Bias, shape {out_channels, 1, 1, 1}.
+  [[nodiscard]] const Tensor& bias() const noexcept { return bias_; }
+  [[nodiscard]] Tensor& bias() noexcept { return bias_; }
+
+ private:
+  std::int32_t in_channels_;
+  std::int32_t out_channels_;
+  std::int32_t kernel_;
+  std::int32_t stride_;
+  std::int32_t pad_;
+  Tensor weight_;
+  Tensor bias_;
+  Tensor weight_grad_;
+  Tensor bias_grad_;
+  Tensor cached_input_;
+};
+
+}  // namespace nocbt::dnn

@@ -1,0 +1,57 @@
+#pragma once
+// Layer interface: forward + backward with stored context, suitable both
+// for inference and for the from-scratch SGD trainer that produces the
+// "trained LeNet weights" workload of the paper.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dnn/tensor.h"
+
+namespace nocbt::dnn {
+
+/// Concrete layer type — lets the accelerator walk a model and extract
+/// per-neuron tasks from the weighted layers without RTTI.
+enum class LayerKind {
+  kConv2d,
+  kLinear,
+  kMaxPool2d,
+  kAvgPool2d,
+  kRelu,
+  kLeakyRelu,
+  kTanh,
+  kFlatten,
+};
+
+/// A named (value, gradient) parameter pair exposed to the optimizer.
+struct ParamRef {
+  Tensor* value = nullptr;
+  Tensor* grad = nullptr;
+  std::string name;
+};
+
+/// Base class of all layers. `forward` caches whatever `backward` needs;
+/// calling `backward` before `forward` is undefined (trainer discipline).
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  [[nodiscard]] virtual LayerKind kind() const noexcept = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Compute outputs from inputs, caching context for backward.
+  virtual Tensor forward(const Tensor& input) = 0;
+
+  /// Given dL/d(output), accumulate parameter gradients and return
+  /// dL/d(input).
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Trainable parameters (empty for stateless layers).
+  virtual std::vector<ParamRef> params() { return {}; }
+
+  /// Shape inference without running data through the layer.
+  [[nodiscard]] virtual Shape output_shape(Shape input) const = 0;
+};
+
+}  // namespace nocbt::dnn

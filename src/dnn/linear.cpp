@@ -1,0 +1,66 @@
+#include "dnn/linear.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nocbt::dnn {
+
+Linear::Linear(std::int32_t in_features, std::int32_t out_features)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weight_(Shape{out_features, in_features, 1, 1}),
+      bias_(Shape{out_features, 1, 1, 1}),
+      weight_grad_(Shape{out_features, in_features, 1, 1}),
+      bias_grad_(Shape{out_features, 1, 1, 1}) {
+  if (in_features < 1 || out_features < 1)
+    throw std::invalid_argument("Linear: invalid dimensions");
+}
+
+void Linear::init_kaiming(Rng& rng) {
+  const double bound = std::sqrt(6.0 / in_features_);
+  for (auto& v : weight_.data())
+    v = static_cast<float>(rng.uniform(-bound, bound));
+  bias_.zero();
+}
+
+Tensor Linear::forward(const Tensor& input) {
+  const Shape in_shape = input.shape();
+  if (in_shape.c * in_shape.h * in_shape.w != in_features_)
+    throw std::invalid_argument("Linear::forward: feature count mismatch");
+  cached_input_ =
+      input.reshaped(Shape{in_shape.n, in_features_, 1, 1});
+  Tensor out(Shape{in_shape.n, out_features_, 1, 1});
+  for (std::int32_t n = 0; n < in_shape.n; ++n) {
+    for (std::int32_t o = 0; o < out_features_; ++o) {
+      float acc = bias_.at(o, 0, 0, 0);
+      for (std::int32_t i = 0; i < in_features_; ++i)
+        acc += cached_input_.at(n, i, 0, 0) * weight_.at(o, i, 0, 0);
+      out.at(n, o, 0, 0) = acc;
+    }
+  }
+  return out;
+}
+
+Tensor Linear::backward(const Tensor& grad_output) {
+  const std::int32_t batch = cached_input_.shape().n;
+  Tensor grad_input(Shape{batch, in_features_, 1, 1});
+  for (std::int32_t n = 0; n < batch; ++n) {
+    for (std::int32_t o = 0; o < out_features_; ++o) {
+      const float g = grad_output.at(n, o, 0, 0);
+      if (g == 0.0f) continue;
+      bias_grad_.at(o, 0, 0, 0) += g;
+      for (std::int32_t i = 0; i < in_features_; ++i) {
+        weight_grad_.at(o, i, 0, 0) += cached_input_.at(n, i, 0, 0) * g;
+        grad_input.at(n, i, 0, 0) += weight_.at(o, i, 0, 0) * g;
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::vector<ParamRef> Linear::params() {
+  return {{&weight_, &weight_grad_, name() + ".weight"},
+          {&bias_, &bias_grad_, name() + ".bias"}};
+}
+
+}  // namespace nocbt::dnn

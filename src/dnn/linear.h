@@ -1,0 +1,53 @@
+#pragma once
+// Fully-connected layer (y = Wx + b), forward and backward.
+//
+// Like Conv2d, this is a task source for the platform: each output neuron
+// becomes one packet carrying its input vector, weight row, and bias.
+
+#include <string>
+
+#include "common/rng.h"
+#include "dnn/layer.h"
+
+namespace nocbt::dnn {
+
+class Linear final : public Layer {
+ public:
+  Linear(std::int32_t in_features, std::int32_t out_features);
+
+  [[nodiscard]] LayerKind kind() const noexcept override {
+    return LayerKind::kLinear;
+  }
+  [[nodiscard]] std::string name() const override {
+    return "linear_" + std::to_string(in_features_) + "->" +
+           std::to_string(out_features_);
+  }
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<ParamRef> params() override;
+  [[nodiscard]] Shape output_shape(Shape input) const override {
+    return Shape{input.n, out_features_, 1, 1};
+  }
+
+  void init_kaiming(Rng& rng);
+
+  [[nodiscard]] std::int32_t in_features() const noexcept { return in_features_; }
+  [[nodiscard]] std::int32_t out_features() const noexcept { return out_features_; }
+  /// Weights, shape {out_features, in_features, 1, 1}.
+  [[nodiscard]] const Tensor& weight() const noexcept { return weight_; }
+  [[nodiscard]] Tensor& weight() noexcept { return weight_; }
+  [[nodiscard]] const Tensor& bias() const noexcept { return bias_; }
+  [[nodiscard]] Tensor& bias() noexcept { return bias_; }
+
+ private:
+  std::int32_t in_features_;
+  std::int32_t out_features_;
+  Tensor weight_;
+  Tensor bias_;
+  Tensor weight_grad_;
+  Tensor bias_grad_;
+  Tensor cached_input_;
+};
+
+}  // namespace nocbt::dnn

@@ -1,0 +1,73 @@
+#include "dnn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nocbt::dnn {
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<std::int32_t>& targets) {
+  const Shape shape = logits.shape();
+  if (shape.h != 1 || shape.w != 1)
+    throw std::invalid_argument("softmax_cross_entropy: logits must be {n,c,1,1}");
+  if (static_cast<std::size_t>(shape.n) != targets.size())
+    throw std::invalid_argument("softmax_cross_entropy: batch size mismatch");
+
+  LossResult result;
+  result.grad = Tensor(shape);
+  const float inv_batch = 1.0f / static_cast<float>(shape.n);
+
+  for (std::int32_t n = 0; n < shape.n; ++n) {
+    const std::int32_t target = targets[static_cast<std::size_t>(n)];
+    if (target < 0 || target >= shape.c)
+      throw std::invalid_argument("softmax_cross_entropy: target out of range");
+
+    // Stable softmax.
+    float max_logit = logits.at(n, 0, 0, 0);
+    std::int32_t best = 0;
+    for (std::int32_t c = 1; c < shape.c; ++c) {
+      if (logits.at(n, c, 0, 0) > max_logit) {
+        max_logit = logits.at(n, c, 0, 0);
+        best = c;
+      }
+    }
+    if (best == target) ++result.correct;
+
+    double denom = 0.0;
+    for (std::int32_t c = 0; c < shape.c; ++c)
+      denom += std::exp(static_cast<double>(logits.at(n, c, 0, 0) - max_logit));
+
+    const double log_denom = std::log(denom);
+    result.loss +=
+        -(static_cast<double>(logits.at(n, target, 0, 0) - max_logit) -
+          log_denom);
+
+    for (std::int32_t c = 0; c < shape.c; ++c) {
+      const double p =
+          std::exp(static_cast<double>(logits.at(n, c, 0, 0) - max_logit)) /
+          denom;
+      result.grad.at(n, c, 0, 0) =
+          (static_cast<float>(p) - (c == target ? 1.0f : 0.0f)) * inv_batch;
+    }
+  }
+  result.loss /= shape.n;
+  return result;
+}
+
+std::vector<std::int32_t> argmax_classes(const Tensor& logits) {
+  const Shape shape = logits.shape();
+  std::vector<std::int32_t> out(static_cast<std::size_t>(shape.n), 0);
+  for (std::int32_t n = 0; n < shape.n; ++n) {
+    float best = logits.at(n, 0, 0, 0);
+    for (std::int32_t c = 1; c < shape.c; ++c) {
+      if (logits.at(n, c, 0, 0) > best) {
+        best = logits.at(n, c, 0, 0);
+        out[static_cast<std::size_t>(n)] = c;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace nocbt::dnn

@@ -1,0 +1,26 @@
+#pragma once
+// Softmax cross-entropy loss for classification training.
+
+#include <cstdint>
+#include <vector>
+
+#include "dnn/tensor.h"
+
+namespace nocbt::dnn {
+
+/// Loss value plus gradient w.r.t. the logits.
+struct LossResult {
+  double loss = 0.0;   ///< mean cross-entropy over the batch
+  Tensor grad;         ///< dL/d(logits), same shape as logits
+  std::int32_t correct = 0;  ///< batch elements where argmax == target
+};
+
+/// Mean softmax cross-entropy over a batch. `logits` has shape
+/// {n, classes, 1, 1}; `targets` holds n class indices.
+[[nodiscard]] LossResult softmax_cross_entropy(
+    const Tensor& logits, const std::vector<std::int32_t>& targets);
+
+/// Argmax over the class dimension for each batch element.
+[[nodiscard]] std::vector<std::int32_t> argmax_classes(const Tensor& logits);
+
+}  // namespace nocbt::dnn

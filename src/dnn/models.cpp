@@ -1,0 +1,89 @@
+#include "dnn/models.h"
+
+#include <cmath>
+
+#include "dnn/activation.h"
+#include "dnn/conv2d.h"
+#include "dnn/linear.h"
+#include "dnn/pooling.h"
+
+namespace nocbt::dnn {
+namespace {
+
+void init_layer(Layer& layer, Rng& rng) {
+  if (layer.kind() == LayerKind::kConv2d)
+    static_cast<Conv2d&>(layer).init_kaiming(rng);
+  else if (layer.kind() == LayerKind::kLinear)
+    static_cast<Linear&>(layer).init_kaiming(rng);
+}
+
+}  // namespace
+
+ModelSpec lenet_spec() { return ModelSpec{Shape{1, 1, 32, 32}, 10}; }
+
+Sequential build_lenet(Rng& rng) {
+  // The modern LeNet-5 formulation (ReLU + max pooling, as in today's
+  // framework reference implementations). ReLU matters beyond accuracy:
+  // roughly half the activations become exact zeros, giving the sparse
+  // activation traffic a DNN accelerator actually transports.
+  Sequential model;
+  model.emplace<Conv2d>(1, 6, 5);       // 6 @ 28x28
+  model.emplace<Relu>();
+  model.emplace<MaxPool2d>(2);          // 6 @ 14x14
+  model.emplace<Conv2d>(6, 16, 5);      // 16 @ 10x10
+  model.emplace<Relu>();
+  model.emplace<MaxPool2d>(2);          // 16 @ 5x5
+  model.emplace<Flatten>();             // 400
+  model.emplace<Linear>(400, 120);
+  model.emplace<Relu>();
+  model.emplace<Linear>(120, 84);
+  model.emplace<Relu>();
+  model.emplace<Linear>(84, 10);
+  for (std::size_t i = 0; i < model.size(); ++i) init_layer(model.layer(i), rng);
+  return model;
+}
+
+ModelSpec darknet_small_spec() { return ModelSpec{Shape{1, 3, 64, 64}, 10}; }
+
+Sequential build_darknet_small(Rng& rng) {
+  Sequential model;
+  model.emplace<Conv2d>(3, 8, 3, 1, 1);   // 8 @ 64x64
+  model.emplace<LeakyRelu>();
+  model.emplace<MaxPool2d>(2);            // 8 @ 32x32
+  model.emplace<Conv2d>(8, 16, 3, 1, 1);  // 16 @ 32x32
+  model.emplace<LeakyRelu>();
+  model.emplace<MaxPool2d>(2);            // 16 @ 16x16
+  model.emplace<Conv2d>(16, 32, 3, 1, 1); // 32 @ 16x16
+  model.emplace<LeakyRelu>();
+  model.emplace<MaxPool2d>(2);            // 32 @ 8x8
+  model.emplace<Conv2d>(32, 64, 3, 1, 1); // 64 @ 8x8
+  model.emplace<LeakyRelu>();
+  model.emplace<MaxPool2d>(2);            // 64 @ 4x4
+  model.emplace<Conv2d>(64, 10, 3, 1, 1); // 10 @ 4x4 classification head
+  model.emplace<GlobalAvgPool>();         // 10 logits
+  for (std::size_t i = 0; i < model.size(); ++i) init_layer(model.layer(i), rng);
+  return model;
+}
+
+void fill_weights_trained_like(Sequential& model, Rng& rng, double b) {
+  for (std::size_t i = 0; i < model.size(); ++i) {
+    Layer& layer = model.layer(i);
+    for (auto& p : layer.params()) {
+      const bool is_bias = p.name.ends_with(".bias");
+      for (auto& v : p.value->data()) {
+        double w = rng.laplace(is_bias ? b * 0.5 : b);
+        // ~1% outliers stretch the tensor's dynamic range the way real
+        // trained nets do (max/sigma ~ 10), so per-tensor max-abs
+        // quantization maps the bulk of the weights to small codes.
+        if (!is_bias && rng.flip(0.01)) w *= rng.uniform(5.0, 10.0);
+        v = static_cast<float>(w);
+      }
+    }
+  }
+}
+
+void fill_weights_random(Sequential& model, Rng& rng) {
+  for (std::size_t i = 0; i < model.size(); ++i) init_layer(model.layer(i), rng);
+}
+
+}  // namespace nocbt::dnn

@@ -1,0 +1,45 @@
+#pragma once
+// Model builders for the paper's two workloads.
+//
+// LeNet-5 (32x32x1 input): conv6@5x5 -> tanh -> avgpool2 -> conv16@5x5 ->
+// tanh -> avgpool2 -> flatten -> fc120 -> tanh -> fc84 -> tanh -> fc10.
+//
+// DarkNetSmall (64x64x3 input, §V-B: "reduce the input size for DarkNet to
+// 64x64x3 to speed up the simulation"; we additionally scale channel widths
+// down — documented in DESIGN.md): four conv3x3/leaky-relu/maxpool stages
+// (8-16-32-64 channels) followed by a conv3x3 head to 10 channels and
+// global average pooling.
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "dnn/sequential.h"
+
+namespace nocbt::dnn {
+
+/// Input geometry expected by a built model.
+struct ModelSpec {
+  Shape input;          ///< per-sample shape with n == 1
+  std::int32_t classes;
+};
+
+/// Build LeNet-5 with Kaiming-initialized weights drawn from `rng`.
+[[nodiscard]] Sequential build_lenet(Rng& rng);
+[[nodiscard]] ModelSpec lenet_spec();
+
+/// Build the DarkNet-like model with Kaiming-initialized weights.
+[[nodiscard]] Sequential build_darknet_small(Rng& rng);
+[[nodiscard]] ModelSpec darknet_small_spec();
+
+/// Overwrite every conv/linear weight (and bias) of `model` with samples
+/// from a Laplace(0, b) distribution — a "trained-like" weight synthesis
+/// used where actually training would be too slow (DarkNet), per the
+/// substitution table in DESIGN.md. `b` defaults to a magnitude typical of
+/// trained convnets.
+void fill_weights_trained_like(Sequential& model, Rng& rng, double b = 0.04);
+
+/// Overwrite every conv/linear weight with Kaiming-uniform samples (the
+/// paper's "randomly initialized weights" configuration).
+void fill_weights_random(Sequential& model, Rng& rng);
+
+}  // namespace nocbt::dnn

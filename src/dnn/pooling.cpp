@@ -1,0 +1,148 @@
+#include "dnn/pooling.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace nocbt::dnn {
+namespace {
+
+void check_divides(Shape in, std::int32_t kernel, std::int32_t stride,
+                   const char* who) {
+  if ((in.h - kernel) % stride != 0 || (in.w - kernel) % stride != 0)
+    throw std::invalid_argument(std::string(who) +
+                                ": input not divisible by pooling window");
+}
+
+}  // namespace
+
+MaxPool2d::MaxPool2d(std::int32_t kernel, std::int32_t stride)
+    : kernel_(kernel), stride_(stride < 0 ? kernel : stride) {
+  if (kernel < 1) throw std::invalid_argument("MaxPool2d: kernel must be >= 1");
+}
+
+Shape MaxPool2d::output_shape(Shape input) const {
+  return Shape{input.n, input.c, (input.h - kernel_) / stride_ + 1,
+               (input.w - kernel_) / stride_ + 1};
+}
+
+Tensor MaxPool2d::forward(const Tensor& input) {
+  check_divides(input.shape(), kernel_, stride_, "MaxPool2d");
+  cached_in_shape_ = input.shape();
+  const Shape out_shape = output_shape(input.shape());
+  Tensor out(out_shape);
+  argmax_.assign(static_cast<std::size_t>(out_shape.numel()), 0);
+
+  std::size_t flat = 0;
+  for (std::int32_t n = 0; n < out_shape.n; ++n) {
+    for (std::int32_t c = 0; c < out_shape.c; ++c) {
+      for (std::int32_t oh = 0; oh < out_shape.h; ++oh) {
+        for (std::int32_t ow = 0; ow < out_shape.w; ++ow, ++flat) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::size_t best_idx = 0;
+          for (std::int32_t kh = 0; kh < kernel_; ++kh) {
+            for (std::int32_t kw = 0; kw < kernel_; ++kw) {
+              const std::int32_t ih = oh * stride_ + kh;
+              const std::int32_t iw = ow * stride_ + kw;
+              const float v = input.at(n, c, ih, iw);
+              if (v > best) {
+                best = v;
+                best_idx = static_cast<std::size_t>(
+                    ((static_cast<std::int64_t>(n) * cached_in_shape_.c + c) *
+                         cached_in_shape_.h +
+                     ih) *
+                        cached_in_shape_.w +
+                    iw);
+              }
+            }
+          }
+          out.at(n, c, oh, ow) = best;
+          argmax_[flat] = best_idx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_output) {
+  Tensor grad_input(cached_in_shape_);
+  auto flat_grad_in = grad_input.data();
+  std::size_t flat = 0;
+  for (float g : grad_output.data()) flat_grad_in[argmax_[flat++]] += g;
+  return grad_input;
+}
+
+AvgPool2d::AvgPool2d(std::int32_t kernel, std::int32_t stride)
+    : kernel_(kernel), stride_(stride < 0 ? kernel : stride) {
+  if (kernel < 1) throw std::invalid_argument("AvgPool2d: kernel must be >= 1");
+}
+
+Shape AvgPool2d::output_shape(Shape input) const {
+  return Shape{input.n, input.c, (input.h - kernel_) / stride_ + 1,
+               (input.w - kernel_) / stride_ + 1};
+}
+
+Tensor AvgPool2d::forward(const Tensor& input) {
+  check_divides(input.shape(), kernel_, stride_, "AvgPool2d");
+  cached_in_shape_ = input.shape();
+  const Shape out_shape = output_shape(input.shape());
+  Tensor out(out_shape);
+  const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
+  for (std::int32_t n = 0; n < out_shape.n; ++n)
+    for (std::int32_t c = 0; c < out_shape.c; ++c)
+      for (std::int32_t oh = 0; oh < out_shape.h; ++oh)
+        for (std::int32_t ow = 0; ow < out_shape.w; ++ow) {
+          float acc = 0.0f;
+          for (std::int32_t kh = 0; kh < kernel_; ++kh)
+            for (std::int32_t kw = 0; kw < kernel_; ++kw)
+              acc += input.at(n, c, oh * stride_ + kh, ow * stride_ + kw);
+          out.at(n, c, oh, ow) = acc * inv;
+        }
+  return out;
+}
+
+Tensor AvgPool2d::backward(const Tensor& grad_output) {
+  Tensor grad_input(cached_in_shape_);
+  const Shape out_shape = grad_output.shape();
+  const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
+  for (std::int32_t n = 0; n < out_shape.n; ++n)
+    for (std::int32_t c = 0; c < out_shape.c; ++c)
+      for (std::int32_t oh = 0; oh < out_shape.h; ++oh)
+        for (std::int32_t ow = 0; ow < out_shape.w; ++ow) {
+          const float g = grad_output.at(n, c, oh, ow) * inv;
+          for (std::int32_t kh = 0; kh < kernel_; ++kh)
+            for (std::int32_t kw = 0; kw < kernel_; ++kw)
+              grad_input.at(n, c, oh * stride_ + kh, ow * stride_ + kw) += g;
+        }
+  return grad_input;
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& input) {
+  cached_in_shape_ = input.shape();
+  const Shape in = input.shape();
+  Tensor out(Shape{in.n, in.c, 1, 1});
+  const float inv = 1.0f / static_cast<float>(in.h * in.w);
+  for (std::int32_t n = 0; n < in.n; ++n)
+    for (std::int32_t c = 0; c < in.c; ++c) {
+      float acc = 0.0f;
+      for (std::int32_t h = 0; h < in.h; ++h)
+        for (std::int32_t w = 0; w < in.w; ++w) acc += input.at(n, c, h, w);
+      out.at(n, c, 0, 0) = acc * inv;
+    }
+  return out;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_output) {
+  Tensor grad_input(cached_in_shape_);
+  const Shape in = cached_in_shape_;
+  const float inv = 1.0f / static_cast<float>(in.h * in.w);
+  for (std::int32_t n = 0; n < in.n; ++n)
+    for (std::int32_t c = 0; c < in.c; ++c) {
+      const float g = grad_output.at(n, c, 0, 0) * inv;
+      for (std::int32_t h = 0; h < in.h; ++h)
+        for (std::int32_t w = 0; w < in.w; ++w) grad_input.at(n, c, h, w) = g;
+    }
+  return grad_input;
+}
+
+}  // namespace nocbt::dnn

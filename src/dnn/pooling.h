@@ -1,0 +1,71 @@
+#pragma once
+// Max and average pooling (square window), forward and backward.
+// LeNet-5 uses average pooling ("subsampling"); the DarkNet-like model uses
+// max pooling — both substrates are needed for the paper's two workloads.
+
+#include <string>
+#include <vector>
+
+#include "dnn/layer.h"
+
+namespace nocbt::dnn {
+
+class MaxPool2d final : public Layer {
+ public:
+  explicit MaxPool2d(std::int32_t kernel, std::int32_t stride = -1);
+
+  [[nodiscard]] LayerKind kind() const noexcept override {
+    return LayerKind::kMaxPool2d;
+  }
+  [[nodiscard]] std::string name() const override {
+    return "maxpool" + std::to_string(kernel_);
+  }
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] Shape output_shape(Shape input) const override;
+
+ private:
+  std::int32_t kernel_;
+  std::int32_t stride_;
+  Shape cached_in_shape_;
+  std::vector<std::size_t> argmax_;  // flat input index per output element
+};
+
+class AvgPool2d final : public Layer {
+ public:
+  explicit AvgPool2d(std::int32_t kernel, std::int32_t stride = -1);
+
+  [[nodiscard]] LayerKind kind() const noexcept override {
+    return LayerKind::kAvgPool2d;
+  }
+  [[nodiscard]] std::string name() const override {
+    return "avgpool" + std::to_string(kernel_);
+  }
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] Shape output_shape(Shape input) const override;
+
+ private:
+  std::int32_t kernel_;
+  std::int32_t stride_;
+  Shape cached_in_shape_;
+};
+
+/// Global average pooling over H x W (DarkNet-style classification head).
+class GlobalAvgPool final : public Layer {
+ public:
+  [[nodiscard]] LayerKind kind() const noexcept override {
+    return LayerKind::kAvgPool2d;
+  }
+  [[nodiscard]] std::string name() const override { return "global_avgpool"; }
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] Shape output_shape(Shape input) const override {
+    return Shape{input.n, input.c, 1, 1};
+  }
+
+ private:
+  Shape cached_in_shape_;
+};
+
+}  // namespace nocbt::dnn

@@ -1,0 +1,112 @@
+#include "dnn/sequential.h"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+#include "dnn/conv2d.h"
+#include "dnn/linear.h"
+
+namespace nocbt::dnn {
+
+namespace {
+constexpr char kWeightMagic[8] = {'N', 'O', 'C', 'B', 'T', 'W', '0', '1'};
+}  // namespace
+
+Tensor Sequential::forward(const Tensor& input) {
+  Tensor x = input;
+  for (auto& layer : layers_) x = layer->forward(x);
+  return x;
+}
+
+Tensor Sequential::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    g = (*it)->backward(g);
+  return g;
+}
+
+std::vector<ParamRef> Sequential::params() {
+  std::vector<ParamRef> all;
+  for (auto& layer : layers_)
+    for (auto& p : layer->params()) all.push_back(p);
+  return all;
+}
+
+Shape Sequential::output_shape(Shape input) const {
+  Shape s = input;
+  for (const auto& layer : layers_) s = layer->output_shape(s);
+  return s;
+}
+
+std::int64_t Sequential::param_count() {
+  std::int64_t total = 0;
+  for (const auto& p : params()) total += p.value->numel();
+  return total;
+}
+
+void Sequential::save_weights(const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_weights: cannot open " + path);
+  out.write(kWeightMagic, sizeof kWeightMagic);
+  const auto all = params();
+  const auto count = static_cast<std::uint64_t>(all.size());
+  out.write(reinterpret_cast<const char*>(&count), sizeof count);
+  for (const auto& p : all) {
+    const auto name_len = static_cast<std::uint64_t>(p.name.size());
+    out.write(reinterpret_cast<const char*>(&name_len), sizeof name_len);
+    out.write(p.name.data(), static_cast<std::streamsize>(name_len));
+    const auto numel = static_cast<std::uint64_t>(p.value->numel());
+    out.write(reinterpret_cast<const char*>(&numel), sizeof numel);
+    out.write(reinterpret_cast<const char*>(p.value->data().data()),
+              static_cast<std::streamsize>(numel * sizeof(float)));
+  }
+  if (!out) throw std::runtime_error("save_weights: write failed: " + path);
+}
+
+void Sequential::load_weights(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_weights: cannot open " + path);
+  char magic[8];
+  in.read(magic, sizeof magic);
+  if (!in || !std::equal(magic, magic + 8, kWeightMagic))
+    throw std::runtime_error("load_weights: bad magic in " + path);
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof count);
+  const auto all = params();
+  if (count != all.size())
+    throw std::runtime_error("load_weights: parameter count mismatch");
+  for (const auto& p : all) {
+    std::uint64_t name_len = 0;
+    in.read(reinterpret_cast<char*>(&name_len), sizeof name_len);
+    std::string name(name_len, '\0');
+    in.read(name.data(), static_cast<std::streamsize>(name_len));
+    if (name != p.name)
+      throw std::runtime_error("load_weights: parameter name mismatch: " +
+                               name + " vs " + p.name);
+    std::uint64_t numel = 0;
+    in.read(reinterpret_cast<char*>(&numel), sizeof numel);
+    if (numel != static_cast<std::uint64_t>(p.value->numel()))
+      throw std::runtime_error("load_weights: size mismatch for " + name);
+    in.read(reinterpret_cast<char*>(p.value->data().data()),
+            static_cast<std::streamsize>(numel * sizeof(float)));
+    if (!in) throw std::runtime_error("load_weights: truncated file " + path);
+  }
+}
+
+std::vector<float> Sequential::weight_values() {
+  std::vector<float> values;
+  for (auto& layer : layers_) {
+    const Tensor* weights = nullptr;
+    if (layer->kind() == LayerKind::kConv2d)
+      weights = &static_cast<const Conv2d&>(*layer).weight();
+    else if (layer->kind() == LayerKind::kLinear)
+      weights = &static_cast<const Linear&>(*layer).weight();
+    if (weights)
+      values.insert(values.end(), weights->data().begin(),
+                    weights->data().end());
+  }
+  return values;
+}
+
+}  // namespace nocbt::dnn

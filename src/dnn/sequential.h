@@ -1,0 +1,65 @@
+#pragma once
+// Sequential container: an ordered stack of layers with whole-model
+// forward/backward and parameter enumeration.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dnn/layer.h"
+
+namespace nocbt::dnn {
+
+class Sequential {
+ public:
+  Sequential() = default;
+
+  /// Append a layer; returns a reference for fluent building.
+  Sequential& add(std::unique_ptr<Layer> layer) {
+    layers_.push_back(std::move(layer));
+    return *this;
+  }
+
+  /// Convenience: construct in place.
+  template <typename L, typename... Args>
+  Sequential& emplace(Args&&... args) {
+    layers_.push_back(std::make_unique<L>(std::forward<Args>(args)...));
+    return *this;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return layers_.size(); }
+  [[nodiscard]] Layer& layer(std::size_t i) { return *layers_[i]; }
+  [[nodiscard]] const Layer& layer(std::size_t i) const { return *layers_[i]; }
+
+  /// Run the full model.
+  Tensor forward(const Tensor& input);
+
+  /// Backpropagate from dL/d(output); parameter grads accumulate in place.
+  Tensor backward(const Tensor& grad_output);
+
+  /// All trainable parameters in layer order.
+  [[nodiscard]] std::vector<ParamRef> params();
+
+  /// Shape after running a given input shape through every layer.
+  [[nodiscard]] Shape output_shape(Shape input) const;
+
+  /// Total parameter element count.
+  [[nodiscard]] std::int64_t param_count();
+
+  /// Flattened copy of all weight *values* of conv/linear layers, in layer
+  /// order — the weight stream used by the no-NoC experiments (Table I).
+  [[nodiscard]] std::vector<float> weight_values();
+
+  /// Serialize all parameter values (binary, with per-parameter name and
+  /// size headers) — lets benches cache trained models across runs.
+  void save_weights(const std::string& path);
+
+  /// Restore parameters written by save_weights. Throws std::runtime_error
+  /// on I/O failure or any name/size mismatch with the current model.
+  void load_weights(const std::string& path);
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace nocbt::dnn

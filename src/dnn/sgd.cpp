@@ -1,0 +1,29 @@
+#include "dnn/sgd.h"
+
+namespace nocbt::dnn {
+
+Sgd::Sgd(std::vector<ParamRef> params, Config config)
+    : params_(std::move(params)), config_(config) {
+  velocity_.reserve(params_.size());
+  for (const auto& p : params_) velocity_.emplace_back(p.value->shape());
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto value = params_[i].value->data();
+    auto grad = params_[i].grad->data();
+    auto vel = velocity_[i].data();
+    for (std::size_t j = 0; j < value.size(); ++j) {
+      const float g = grad[j] + config_.weight_decay * value[j];
+      vel[j] = config_.momentum * vel[j] + g;
+      value[j] -= config_.lr * vel[j];
+      grad[j] = 0.0f;
+    }
+  }
+}
+
+void Sgd::zero_grad() {
+  for (auto& p : params_) p.grad->zero();
+}
+
+}  // namespace nocbt::dnn

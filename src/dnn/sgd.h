@@ -1,0 +1,39 @@
+#pragma once
+// Plain SGD with momentum and L2 weight decay.
+//
+// Weight decay matters here beyond accuracy: it concentrates trained
+// weights near zero, which is precisely the distribution that makes the
+// paper's fixed-8 popcount ordering so effective (Table I: 55.71%).
+
+#include <vector>
+
+#include "dnn/layer.h"
+
+namespace nocbt::dnn {
+
+class Sgd {
+ public:
+  struct Config {
+    float lr = 0.05f;
+    float momentum = 0.9f;
+    float weight_decay = 1e-3f;
+  };
+
+  Sgd(std::vector<ParamRef> params, Config config);
+
+  /// Apply one update from the accumulated gradients, then zero them.
+  void step();
+
+  /// Zero all parameter gradients without updating.
+  void zero_grad();
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+  void set_lr(float lr) noexcept { config_.lr = lr; }
+
+ private:
+  std::vector<ParamRef> params_;
+  std::vector<Tensor> velocity_;
+  Config config_;
+};
+
+}  // namespace nocbt::dnn

@@ -1,0 +1,80 @@
+#include "dnn/synthetic_data.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace nocbt::dnn {
+
+SyntheticDataset::SyntheticDataset(Config config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  if (config.classes < 2) throw std::invalid_argument("SyntheticDataset: classes < 2");
+  if (config.height < 8 || config.width < 8)
+    throw std::invalid_argument("SyntheticDataset: image too small");
+}
+
+Tensor SyntheticDataset::exemplar(std::int32_t label, float offset) const {
+  // Two parallel strokes through the image at the class's orientation.
+  // Pixels farther than ~2 sigma from both stroke center lines stay
+  // exactly zero, giving MNIST-like sparsity.
+  const double angle = std::numbers::pi * label / config_.classes;
+  const double nx = -std::sin(angle);  // unit normal of the stroke lines
+  const double ny = std::cos(angle);
+  const double cx = config_.width / 2.0;
+  const double cy = config_.height / 2.0;
+  const double sigma = config_.stroke_sigma;
+  const double cutoff = 2.0 * sigma;
+
+  Tensor img(Shape{1, config_.channels, config_.height, config_.width});
+  for (std::int32_t c = 0; c < config_.channels; ++c) {
+    // Channels shift the strokes slightly so RGB inputs are not identical.
+    const double channel_shift = 0.8 * c;
+    for (std::int32_t h = 0; h < config_.height; ++h) {
+      for (std::int32_t w = 0; w < config_.width; ++w) {
+        const double d0 = (w - cx) * nx + (h - cy) * ny + offset + channel_shift;
+        const double d1 = d0 - config_.stroke_gap;
+        double value = 0.0;
+        if (std::fabs(d0) < cutoff)
+          value = std::exp(-d0 * d0 / (2.0 * sigma * sigma));
+        if (std::fabs(d1) < cutoff)
+          value = std::max(value, std::exp(-d1 * d1 / (2.0 * sigma * sigma)));
+        img.at(0, c, h, w) = static_cast<float>(value);
+      }
+    }
+  }
+  return img;
+}
+
+Batch SyntheticDataset::sample(std::int32_t n) {
+  Batch batch;
+  batch.images =
+      Tensor(Shape{n, config_.channels, config_.height, config_.width});
+  batch.labels.resize(static_cast<std::size_t>(n));
+  for (std::int32_t i = 0; i < n; ++i) {
+    const auto label =
+        static_cast<std::int32_t>(rng_.uniform_int(0, config_.classes - 1));
+    batch.labels[static_cast<std::size_t>(i)] = label;
+    const auto offset =
+        static_cast<float>(rng_.uniform(-config_.stroke_gap, config_.stroke_gap * 0.5));
+    const auto brightness = static_cast<float>(rng_.uniform(0.7, 1.0));
+    const Tensor clean = exemplar(label, offset);
+    for (std::int32_t c = 0; c < config_.channels; ++c) {
+      for (std::int32_t h = 0; h < config_.height; ++h) {
+        for (std::int32_t w = 0; w < config_.width; ++w) {
+          float v = clean.at(0, c, h, w) * brightness;
+          // Noise only on lit pixels: the background stays exactly zero,
+          // like MNIST's black canvas.
+          if (v > 0.0f)
+            v = std::clamp(
+                v + static_cast<float>(rng_.normal(0.0, config_.noise_stddev)),
+                0.0f, 1.0f);
+          batch.images.at(i, c, h, w) = v;
+        }
+      }
+    }
+  }
+  return batch;
+}
+
+}  // namespace nocbt::dnn

@@ -1,0 +1,65 @@
+#include "dnn/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nocbt::dnn {
+
+std::string Shape::to_string() const {
+  return "(" + std::to_string(n) + ", " + std::to_string(c) + ", " +
+         std::to_string(h) + ", " + std::to_string(w) + ")";
+}
+
+Tensor::Tensor(Shape shape) : shape_(shape) {
+  if (shape.n < 0 || shape.c < 0 || shape.h < 0 || shape.w < 0)
+    throw std::invalid_argument("Tensor: negative dimension");
+  data_.assign(static_cast<std::size_t>(shape.numel()), 0.0f);
+}
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(shape);
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::from_vector(Shape shape, std::vector<float> data) {
+  if (static_cast<std::int64_t>(data.size()) != shape.numel())
+    throw std::invalid_argument("Tensor::from_vector: size mismatch");
+  Tensor t;
+  t.shape_ = shape;
+  t.data_ = std::move(data);
+  return t;
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::add_scaled(const Tensor& other, float scale) {
+  if (!(shape_ == other.shape_))
+    throw std::invalid_argument("Tensor::add_scaled: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    data_[i] += other.data_[i] * scale;
+}
+
+void Tensor::scale(float factor) {
+  for (auto& v : data_) v *= factor;
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  if (new_shape.numel() != shape_.numel())
+    throw std::invalid_argument("Tensor::reshaped: numel mismatch");
+  Tensor t;
+  t.shape_ = new_shape;
+  t.data_ = data_;
+  return t;
+}
+
+float Tensor::max_abs() const noexcept {
+  float m = 0.0f;
+  for (float v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+}  // namespace nocbt::dnn

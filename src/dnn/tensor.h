@@ -1,0 +1,81 @@
+#pragma once
+// Dense float tensor in NCHW layout — the numeric substrate for the DNN
+// library. Kept deliberately small: the accelerator experiments need
+// correct inference/training, not a full framework.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace nocbt::dnn {
+
+/// 4-D shape (batch, channels, height, width). Vectors and matrices are
+/// represented with trailing singleton dims, e.g. {n, features, 1, 1}.
+struct Shape {
+  std::int32_t n = 1;
+  std::int32_t c = 1;
+  std::int32_t h = 1;
+  std::int32_t w = 1;
+
+  [[nodiscard]] std::int64_t numel() const noexcept {
+    return static_cast<std::int64_t>(n) * c * h * w;
+  }
+  friend bool operator==(const Shape&, const Shape&) = default;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Owning NCHW float tensor with contiguous storage.
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape);
+
+  [[nodiscard]] static Tensor zeros(Shape shape) { return Tensor(shape); }
+  [[nodiscard]] static Tensor full(Shape shape, float value);
+  /// Wrap a flat buffer (size must equal shape.numel()).
+  [[nodiscard]] static Tensor from_vector(Shape shape, std::vector<float> data);
+
+  [[nodiscard]] const Shape& shape() const noexcept { return shape_; }
+  [[nodiscard]] std::int64_t numel() const noexcept { return shape_.numel(); }
+
+  [[nodiscard]] float& at(std::int32_t n, std::int32_t c, std::int32_t h,
+                          std::int32_t w) noexcept {
+    return data_[index(n, c, h, w)];
+  }
+  [[nodiscard]] float at(std::int32_t n, std::int32_t c, std::int32_t h,
+                         std::int32_t w) const noexcept {
+    return data_[index(n, c, h, w)];
+  }
+
+  [[nodiscard]] std::span<float> data() noexcept { return data_; }
+  [[nodiscard]] std::span<const float> data() const noexcept { return data_; }
+
+  void fill(float value);
+  void zero() { fill(0.0f); }
+
+  /// this += other * scale (shapes must match).
+  void add_scaled(const Tensor& other, float scale);
+  /// this *= scale.
+  void scale(float factor);
+
+  /// Same storage, new shape (numel must match).
+  [[nodiscard]] Tensor reshaped(Shape new_shape) const;
+
+  /// Largest |element|; 0 for an empty tensor.
+  [[nodiscard]] float max_abs() const noexcept;
+
+ private:
+  [[nodiscard]] std::size_t index(std::int32_t n, std::int32_t c,
+                                  std::int32_t h, std::int32_t w) const noexcept {
+    return static_cast<std::size_t>(
+        ((static_cast<std::int64_t>(n) * shape_.c + c) * shape_.h + h) *
+            shape_.w +
+        w);
+  }
+
+  Shape shape_{0, 0, 0, 0};
+  std::vector<float> data_;
+};
+
+}  // namespace nocbt::dnn

@@ -1,0 +1,45 @@
+#include "dnn/trainer.h"
+
+namespace nocbt::dnn {
+
+Trainer::Trainer(Sequential& model, SyntheticDataset& data, Config config)
+    : model_(model),
+      data_(data),
+      config_(config),
+      optimizer_(model.params(), config.sgd) {}
+
+std::vector<EpochStats> Trainer::train() {
+  std::vector<EpochStats> history;
+  optimizer_.zero_grad();
+  for (std::int32_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    double loss_sum = 0.0;
+    std::int64_t correct = 0;
+    std::int64_t seen = 0;
+    for (std::int32_t step = 0; step < config_.steps_per_epoch; ++step) {
+      Batch batch = data_.sample(config_.batch_size);
+      const Tensor logits = model_.forward(batch.images);
+      const LossResult loss = softmax_cross_entropy(logits, batch.labels);
+      model_.backward(loss.grad);
+      optimizer_.step();
+      loss_sum += loss.loss;
+      correct += loss.correct;
+      seen += batch.labels.size();
+    }
+    history.push_back(EpochStats{
+        loss_sum / config_.steps_per_epoch,
+        static_cast<double>(correct) / static_cast<double>(seen)});
+  }
+  return history;
+}
+
+double Trainer::evaluate(std::int32_t n) {
+  Batch batch = data_.sample(n);
+  const Tensor logits = model_.forward(batch.images);
+  const auto predictions = argmax_classes(logits);
+  std::int32_t correct = 0;
+  for (std::size_t i = 0; i < predictions.size(); ++i)
+    if (predictions[i] == batch.labels[i]) ++correct;
+  return static_cast<double>(correct) / n;
+}
+
+}  // namespace nocbt::dnn

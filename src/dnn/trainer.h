@@ -1,0 +1,45 @@
+#pragma once
+// Minibatch SGD training loop over the synthetic dataset — produces the
+// "trained LeNet weights" workload of the paper from scratch.
+
+#include <cstdint>
+#include <vector>
+
+#include "dnn/loss.h"
+#include "dnn/sequential.h"
+#include "dnn/sgd.h"
+#include "dnn/synthetic_data.h"
+
+namespace nocbt::dnn {
+
+/// Per-epoch training record.
+struct EpochStats {
+  double mean_loss = 0.0;
+  double accuracy = 0.0;
+};
+
+class Trainer {
+ public:
+  struct Config {
+    std::int32_t epochs = 4;
+    std::int32_t steps_per_epoch = 30;
+    std::int32_t batch_size = 16;
+    Sgd::Config sgd;
+  };
+
+  Trainer(Sequential& model, SyntheticDataset& data, Config config);
+
+  /// Run the full schedule; returns one entry per epoch.
+  std::vector<EpochStats> train();
+
+  /// Accuracy over `n` freshly sampled examples.
+  [[nodiscard]] double evaluate(std::int32_t n);
+
+ private:
+  Sequential& model_;
+  SyntheticDataset& data_;
+  Config config_;
+  Sgd optimizer_;
+};
+
+}  // namespace nocbt::dnn

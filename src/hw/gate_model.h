@@ -1,0 +1,71 @@
+#pragma once
+// Analytical gate-equivalent area & power model of the ordering unit and
+// the reference router (paper Table II).
+//
+// Substitution note (DESIGN.md): the paper synthesizes with Synopsys DC on
+// TSMC 90 nm; without EDA tools we model the unit structurally — SWAR
+// pop-count adder trees, an odd-even transposition sort of (key, payload)
+// lanes, and lane registers — in gate equivalents (GE, 2-input NAND), then
+// calibrate one global factor so the paper's default configuration
+// (16 lanes x 32-bit values, 125 MHz, 1.0 V) reproduces Table II exactly:
+// 12.91 kGE / 2.213 mW per unit vs 125.54 kGE / 16.92 mW per router.
+
+#include <cstdint>
+
+#include "ordering/ordering_unit.h"
+
+namespace nocbt::hw {
+
+/// Technology/operating point; defaults are the paper's.
+struct TechConfig {
+  double frequency_mhz = 125.0;
+  double voltage = 1.0;
+  /// Dynamic power per GE at the default operating point, calibrated.
+  double uw_per_ge = 0.0;  ///< 0 = use calibrated default
+};
+
+/// Area/power estimate for one block.
+struct BlockCost {
+  double kilo_ge = 0.0;   ///< thousand gate equivalents
+  double power_mw = 0.0;  ///< at the configured frequency/voltage
+};
+
+/// Structural cost model of the ordering unit.
+class OrderingUnitCostModel {
+ public:
+  explicit OrderingUnitCostModel(ordering::OrderingUnitConfig unit,
+                                 TechConfig tech = {});
+
+  /// Total unit cost (pop-count stage + sort network + lane registers).
+  [[nodiscard]] BlockCost unit_cost() const;
+
+  /// Cost of `n` units (one per memory controller).
+  [[nodiscard]] BlockCost units_cost(int n) const;
+
+  // Structural sub-totals (GE), before calibration scaling:
+  [[nodiscard]] double popcount_ge() const;   ///< SWAR adder trees, all lanes
+  [[nodiscard]] double sorter_ge() const;     ///< compare-and-swap lanes
+  [[nodiscard]] double register_ge() const;   ///< (key + value) lane registers
+
+ private:
+  ordering::OrderingUnitConfig unit_;
+  TechConfig tech_;
+};
+
+/// Reference router cost (paper Table II, Constellation-generated router,
+/// TSMC 90 nm @ 125 MHz): 125.54 kGE, 16.92 mW.
+[[nodiscard]] BlockCost router_reference_cost(int routers = 1);
+
+/// The paper's Table II reference values, exposed for tests/benches.
+namespace table2 {
+inline constexpr double kUnitKiloGe = 12.91;
+inline constexpr double kUnitPowerMw = 2.213;
+inline constexpr double kFourUnitsKiloGe = 51.64;
+inline constexpr double kFourUnitsPowerMw = 8.852;
+inline constexpr double kRouterKiloGe = 125.54;
+inline constexpr double kRouterPowerMw = 16.92;
+inline constexpr double k64RoutersKiloGe = 8034.56;
+inline constexpr double k64RoutersPowerMw = 1083.18;
+}  // namespace table2
+
+}  // namespace nocbt::hw

@@ -1,0 +1,26 @@
+#include "hw/link_energy.h"
+
+namespace nocbt::hw {
+
+double link_power_mw(const LinkPowerConfig& config) {
+  const double toggling_bits = config.link_width_bits * config.toggle_fraction;
+  // pJ * bits * links * MHz = pJ * 1e6/s = 1e-6 J/s = uW; /1000 -> mW.
+  return config.energy_per_transition_pj * toggling_bits * config.num_links *
+         config.frequency_mhz / 1e3;
+}
+
+double link_power_with_reduction_mw(const LinkPowerConfig& config,
+                                    double reduction_rate) {
+  return link_power_mw(config) * (1.0 - reduction_rate);
+}
+
+unsigned mesh_bidirectional_links(unsigned rows, unsigned cols) {
+  return rows * (cols - 1) + cols * (rows - 1);
+}
+
+double transitions_to_joules(std::uint64_t transitions,
+                             double energy_per_transition_pj) {
+  return static_cast<double>(transitions) * energy_per_transition_pj * 1e-12;
+}
+
+}  // namespace nocbt::hw

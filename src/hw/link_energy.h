@@ -1,0 +1,44 @@
+#pragma once
+// Link power model of §V-C: P = E_transition * toggling_bits * links * f.
+//
+// The paper synthesizes physical links with Innovus and reports
+// 0.173 pJ per bit transition; Banerjee et al. report 0.532 pJ. Assuming
+// half of a 128-bit link's wires toggle per cycle across the 112
+// inter-router links of an 8x8 mesh at 125 MHz:
+//   0.173 pJ * 64 * 112 * 125 MHz = 155.008 mW   (our link model)
+//   0.532 pJ * 64 * 112 * 125 MHz = 476.672 mW   (Banerjee's model)
+// and the 40.85% BT reduction scales these to 91.688 / 281.951 mW.
+
+#include <cstdint>
+
+namespace nocbt::hw {
+
+/// Parameters of the link power estimate.
+struct LinkPowerConfig {
+  double energy_per_transition_pj = 0.173;
+  unsigned link_width_bits = 128;
+  unsigned num_links = 112;        ///< inter-router links (8x8 mesh: 112)
+  double frequency_mhz = 125.0;
+  double toggle_fraction = 0.5;    ///< fraction of wires toggling per cycle
+};
+
+/// The paper's alternative published energy point.
+inline constexpr double kBanerjeeEnergyPj = 0.532;
+
+/// Total link power in mW under the model.
+[[nodiscard]] double link_power_mw(const LinkPowerConfig& config);
+
+/// Link power after applying a BT reduction rate (0..1).
+[[nodiscard]] double link_power_with_reduction_mw(const LinkPowerConfig& config,
+                                                  double reduction_rate);
+
+/// Inter-router link count of an R x C mesh (both directions):
+/// 2 * (R*(C-1) + C*(R-1)). For 8x8 this is 224 unidirectional; the paper
+/// counts 112 *bidirectional* links, i.e. links = R*(C-1) + C*(R-1).
+[[nodiscard]] unsigned mesh_bidirectional_links(unsigned rows, unsigned cols);
+
+/// Energy (in Joules) for a measured BT count at the configured pJ/bit.
+[[nodiscard]] double transitions_to_joules(std::uint64_t transitions,
+                                           double energy_per_transition_pj);
+
+}  // namespace nocbt::hw

@@ -1,0 +1,37 @@
+#pragma once
+// Round-robin arbitration, the building block of the router's separable
+// virtual-channel and switch allocators.
+
+#include <cstdint>
+#include <vector>
+
+namespace nocbt::noc {
+
+/// Round-robin arbiter over `size` requesters. The winner of a grant gets
+/// lowest priority on the next arbitration, giving starvation freedom.
+class RoundRobinArbiter {
+ public:
+  explicit RoundRobinArbiter(std::size_t size) : size_(size) {}
+
+  /// Pick the first requesting index at or after the pointer; advances the
+  /// pointer past the winner. Returns -1 if nothing is requesting.
+  [[nodiscard]] std::int32_t arbitrate(const std::vector<bool>& requests) {
+    if (requests.size() != size_ || size_ == 0) return -1;
+    for (std::size_t offset = 0; offset < size_; ++offset) {
+      const std::size_t idx = (pointer_ + offset) % size_;
+      if (requests[idx]) {
+        pointer_ = (idx + 1) % size_;
+        return static_cast<std::int32_t>(idx);
+      }
+    }
+    return -1;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+ private:
+  std::size_t size_;
+  std::size_t pointer_ = 0;
+};
+
+}  // namespace nocbt::noc

@@ -1,0 +1,76 @@
+#include "noc/bt_recorder.h"
+
+namespace nocbt::noc {
+
+std::int32_t BtRecorder::register_link(const LinkInfo& info) {
+  const auto id = static_cast<std::int32_t>(links_.size());
+  links_.push_back(info);
+  prev_.emplace_back(payload_bits_);
+  link_bt_.push_back(0);
+  link_flits_.push_back(0);
+  return id;
+}
+
+void BtRecorder::observe(std::int32_t link_id, const BitVec& payload) {
+  const auto idx = static_cast<std::size_t>(link_id);
+  const auto kind = static_cast<std::size_t>(links_[idx].kind);
+  const auto bt = static_cast<std::uint64_t>(prev_[idx].transitions_to(payload));
+  prev_[idx] = payload;
+  link_bt_[idx] += bt;
+  ++link_flits_[idx];
+  kind_bt_[kind] += bt;
+  ++kind_flits_[kind];
+}
+
+bool BtRecorder::in_scope(LinkKind kind) const noexcept {
+  switch (kind) {
+    case LinkKind::kInjection: return scope_.count_injection;
+    case LinkKind::kInterRouter: return scope_.count_inter_router;
+    case LinkKind::kEjection: return scope_.count_ejection;
+  }
+  return false;
+}
+
+std::uint64_t BtRecorder::total() const noexcept {
+  std::uint64_t sum = 0;
+  for (int k = 0; k < 3; ++k)
+    if (in_scope(static_cast<LinkKind>(k))) sum += kind_bt_[k];
+  return sum;
+}
+
+std::uint64_t BtRecorder::total_all_links() const noexcept {
+  return kind_bt_[0] + kind_bt_[1] + kind_bt_[2];
+}
+
+std::uint64_t BtRecorder::flits_in_scope() const noexcept {
+  std::uint64_t sum = 0;
+  for (int k = 0; k < 3; ++k)
+    if (in_scope(static_cast<LinkKind>(k))) sum += kind_flits_[k];
+  return sum;
+}
+
+double BtRecorder::bt_per_flit() const noexcept {
+  const std::uint64_t flits = flits_in_scope();
+  return flits ? static_cast<double>(total()) / static_cast<double>(flits) : 0.0;
+}
+
+void BtRecorder::reset() noexcept {
+  for (auto& p : prev_) p.clear();
+  for (auto& b : link_bt_) b = 0;
+  for (auto& f : link_flits_) f = 0;
+  for (int k = 0; k < 3; ++k) {
+    kind_bt_[k] = 0;
+    kind_flits_[k] = 0;
+  }
+}
+
+std::string to_string(LinkKind kind) {
+  switch (kind) {
+    case LinkKind::kInjection: return "injection";
+    case LinkKind::kInterRouter: return "inter-router";
+    case LinkKind::kEjection: return "ejection";
+  }
+  return "?";
+}
+
+}  // namespace nocbt::noc

@@ -1,0 +1,96 @@
+#pragma once
+// Bit-transition recorder (paper Fig. 8).
+//
+// One previous-flit register per link; every flit pushed onto a link is
+// XOR-compared against that register and the popcount of the difference is
+// accumulated. Idle cycles hold the wire state, so no transitions are
+// charged while a link is silent. Recording is measurement-only: it models
+// the *wires*, not hardware added to the design.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "noc/noc_config.h"
+
+namespace nocbt::noc {
+
+/// Which class of physical link a monitored channel is.
+enum class LinkKind : std::uint8_t {
+  kInjection,    ///< NI -> router (NI output port)
+  kInterRouter,  ///< router -> router
+  kEjection,     ///< router -> NI (router local output port)
+};
+
+/// Static description of a monitored link.
+struct LinkInfo {
+  LinkKind kind = LinkKind::kInterRouter;
+  std::int32_t src = -1;       ///< source node id (router or NI node)
+  std::int32_t dst = -1;       ///< destination node id
+  std::int32_t src_port = -1;  ///< output port at the source (routers only)
+};
+
+/// Accumulates bit transitions per link and per link class.
+class BtRecorder {
+ public:
+  BtRecorder(BtScopeConfig scope, unsigned payload_bits)
+      : scope_(scope), payload_bits_(payload_bits) {}
+
+  /// Register a link to monitor; returns its link id.
+  std::int32_t register_link(const LinkInfo& info);
+
+  /// Record one flit payload crossing link `link_id`.
+  void observe(std::int32_t link_id, const BitVec& payload);
+
+  /// BTs summed over the link classes enabled in the scope config — the
+  /// "NoC Bit Transition Sum" of Fig. 8.
+  [[nodiscard]] std::uint64_t total() const noexcept;
+
+  /// BTs over every monitored link regardless of scope.
+  [[nodiscard]] std::uint64_t total_all_links() const noexcept;
+
+  [[nodiscard]] std::uint64_t by_kind(LinkKind kind) const noexcept {
+    return kind_bt_[static_cast<std::size_t>(kind)];
+  }
+  [[nodiscard]] std::uint64_t flits_by_kind(LinkKind kind) const noexcept {
+    return kind_flits_[static_cast<std::size_t>(kind)];
+  }
+
+  [[nodiscard]] std::size_t link_count() const noexcept { return links_.size(); }
+  [[nodiscard]] const LinkInfo& link_info(std::int32_t id) const {
+    return links_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] std::uint64_t link_bt(std::int32_t id) const {
+    return link_bt_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] std::uint64_t link_flits(std::int32_t id) const {
+    return link_flits_[static_cast<std::size_t>(id)];
+  }
+
+  /// Flits observed on in-scope links.
+  [[nodiscard]] std::uint64_t flits_in_scope() const noexcept;
+
+  /// Mean BT per flit over in-scope links (0 when nothing observed).
+  [[nodiscard]] double bt_per_flit() const noexcept;
+
+  /// Reset all accumulators and wire states (for multi-phase experiments).
+  void reset() noexcept;
+
+ private:
+  [[nodiscard]] bool in_scope(LinkKind kind) const noexcept;
+
+  BtScopeConfig scope_;
+  unsigned payload_bits_;
+  std::vector<LinkInfo> links_;
+  std::vector<BitVec> prev_;  // wire state per link
+  std::vector<std::uint64_t> link_bt_;
+  std::vector<std::uint64_t> link_flits_;
+  std::uint64_t kind_bt_[3] = {0, 0, 0};
+  std::uint64_t kind_flits_[3] = {0, 0, 0};
+};
+
+/// Human-readable name of a link kind.
+[[nodiscard]] std::string to_string(LinkKind kind);
+
+}  // namespace nocbt::noc

@@ -1,0 +1,51 @@
+#pragma once
+// Pipelined point-to-point channel with fixed latency.
+//
+// Channels connect router output ports to downstream input ports (and NIs
+// to routers). An optional observer sees every item as it is pushed — this
+// is where the bit-transition recorder taps the physical wires.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <utility>
+
+namespace nocbt::noc {
+
+/// FIFO channel carrying T with `latency` cycles of delay.
+/// Single producer, single consumer; at most one push per cycle.
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(unsigned latency = 1) : latency_(latency) {}
+
+  /// Install an observer invoked on every push (BT recording tap).
+  void set_observer(std::function<void(const T&)> observer) {
+    observer_ = std::move(observer);
+  }
+
+  /// Send an item at cycle `now`; it becomes visible at `now + latency`.
+  void push(std::uint64_t now, T item) {
+    if (observer_) observer_(item);
+    in_flight_.emplace_back(now + latency_, std::move(item));
+  }
+
+  /// Receive the item that arrives at cycle `now`, if any.
+  [[nodiscard]] std::optional<T> pop_ready(std::uint64_t now) {
+    if (in_flight_.empty() || in_flight_.front().first > now) return std::nullopt;
+    T item = std::move(in_flight_.front().second);
+    in_flight_.pop_front();
+    return item;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return in_flight_.empty(); }
+  [[nodiscard]] unsigned latency() const noexcept { return latency_; }
+
+ private:
+  unsigned latency_;
+  std::deque<std::pair<std::uint64_t, T>> in_flight_;
+  std::function<void(const T&)> observer_;
+};
+
+}  // namespace nocbt::noc

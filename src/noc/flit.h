@@ -1,0 +1,63 @@
+#pragma once
+// Flit, packet and credit types — the units of transport in the NoC.
+//
+// A packet is a sequence of flits; the head flit opens a wormhole (route +
+// virtual channel) that body flits follow and the tail flit closes. Routing
+// and sequencing information is modeled out-of-band (sideband wires), as in
+// BookSim-class simulators; bit-transition accounting therefore covers the
+// payload wires only, matching the per-flit accounting of the paper (a
+// config option adds a modeled header later in the BT recorder).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvec.h"
+
+namespace nocbt::noc {
+
+/// Position of a flit within its packet.
+enum class FlitKind : std::uint8_t {
+  kHead,      ///< first flit of a multi-flit packet
+  kBody,      ///< middle flit
+  kTail,      ///< last flit of a multi-flit packet
+  kHeadTail,  ///< single-flit packet
+};
+
+[[nodiscard]] constexpr bool is_head(FlitKind k) noexcept {
+  return k == FlitKind::kHead || k == FlitKind::kHeadTail;
+}
+[[nodiscard]] constexpr bool is_tail(FlitKind k) noexcept {
+  return k == FlitKind::kTail || k == FlitKind::kHeadTail;
+}
+
+/// One flit in flight. Value type; moved through channels and buffers.
+struct Flit {
+  FlitKind kind = FlitKind::kHeadTail;
+  std::uint64_t packet_id = 0;  ///< globally unique (assigned at injection)
+  std::int32_t src = -1;        ///< source node id
+  std::int32_t dst = -1;        ///< destination node id
+  std::int32_t vc = -1;         ///< virtual channel on the *current* link
+  std::uint32_t seq = 0;        ///< index of this flit within its packet
+  std::uint32_t num_flits = 1;  ///< total flits in the packet
+  std::uint64_t inject_cycle = 0;  ///< cycle the packet entered the source queue
+  std::uint16_t hops = 0;          ///< inter-router links traversed so far
+  BitVec payload;                  ///< link-width payload bits
+};
+
+/// A credit returned upstream when a buffer slot frees.
+struct Credit {
+  std::int32_t vc = -1;
+};
+
+/// A whole packet, as submitted to / reassembled by a network interface.
+struct Packet {
+  std::uint64_t id = 0;
+  std::int32_t src = -1;
+  std::int32_t dst = -1;
+  std::vector<BitVec> payloads;    ///< one payload per flit; never empty
+  std::uint64_t inject_cycle = 0;  ///< set by Network::inject
+  std::uint64_t eject_cycle = 0;   ///< set on delivery
+  std::uint16_t hops = 0;          ///< hops taken by the tail flit
+};
+
+}  // namespace nocbt::noc

@@ -1,0 +1,141 @@
+#include "noc/network.h"
+
+#include <stdexcept>
+
+namespace nocbt::noc {
+
+Network::Network(const NocConfig& cfg)
+    : cfg_(cfg),
+      shape_(cfg.rows, cfg.cols),
+      bt_(cfg.bt_scope, cfg.flit_payload_bits) {
+  cfg_.validate();
+  build();
+}
+
+Channel<Flit>* Network::new_flit_channel(const LinkInfo& info) {
+  flit_channels_.emplace_back(cfg_.channel_latency);
+  Channel<Flit>* ch = &flit_channels_.back();
+  const std::int32_t link_id = bt_.register_link(info);
+  BtRecorder* recorder = &bt_;
+  ch->set_observer([recorder, link_id](const Flit& flit) {
+    recorder->observe(link_id, flit.payload);
+  });
+  return ch;
+}
+
+Channel<Credit>* Network::new_credit_channel() {
+  credit_channels_.emplace_back(cfg_.channel_latency);
+  return &credit_channels_.back();
+}
+
+void Network::build() {
+  const std::int32_t n = shape_.node_count();
+  for (std::int32_t i = 0; i < n; ++i) routers_.emplace_back(cfg_, shape_, i);
+  for (std::int32_t i = 0; i < n; ++i) nis_.emplace_back(cfg_, i);
+
+  // Inter-router links: one flit channel + one reverse credit channel per
+  // directed adjacency.
+  for (std::int32_t node = 0; node < n; ++node) {
+    for (Port port : {kEast, kWest, kNorth, kSouth}) {
+      const std::int32_t nbr = shape_.neighbor(node, port);
+      if (nbr < 0) continue;
+      Channel<Flit>* flits = new_flit_channel(
+          LinkInfo{LinkKind::kInterRouter, node, nbr, port});
+      Channel<Credit>* credits = new_credit_channel();
+      routers_[node].connect_output(port, flits, credits);
+      routers_[nbr].connect_input(opposite(port), flits, credits);
+    }
+  }
+
+  // NI <-> router local-port links.
+  for (std::int32_t node = 0; node < n; ++node) {
+    Channel<Flit>* inj = new_flit_channel(
+        LinkInfo{LinkKind::kInjection, node, node, -1});
+    Channel<Credit>* inj_credits = new_credit_channel();
+    nis_[node].connect_injection(inj, inj_credits);
+    routers_[node].connect_input(kLocal, inj, inj_credits);
+
+    Channel<Flit>* ej = new_flit_channel(
+        LinkInfo{LinkKind::kEjection, node, node, kLocal});
+    Channel<Credit>* ej_credits = new_credit_channel();
+    routers_[node].connect_output(kLocal, ej, ej_credits);
+    nis_[node].connect_ejection(ej, ej_credits);
+  }
+}
+
+void Network::set_sink(std::int32_t node, PacketSink sink) {
+  NocStats* stats = &stats_;
+  nis_[node].set_sink(
+      [stats, user = std::move(sink)](Packet&& packet, std::uint64_t cycle) {
+        ++stats->packets_delivered;
+        stats->flits_delivered += packet.payloads.size();
+        stats->packet_latency.add(
+            static_cast<double>(cycle - packet.inject_cycle));
+        stats->packet_hops.add(static_cast<double>(packet.hops));
+        if (user) user(std::move(packet), cycle);
+      });
+}
+
+std::uint64_t Network::inject(std::int32_t src, std::int32_t dst,
+                              std::vector<BitVec> payloads) {
+  if (src < 0 || src >= shape_.node_count() || dst < 0 ||
+      dst >= shape_.node_count())
+    throw std::invalid_argument("Network::inject: node out of range");
+  if (payloads.empty())
+    throw std::invalid_argument("Network::inject: packet needs >= 1 flit");
+  for (const auto& p : payloads) {
+    if (p.width() != cfg_.flit_payload_bits)
+      throw std::invalid_argument(
+          "Network::inject: payload width != flit_payload_bits");
+  }
+  Packet packet;
+  packet.id = next_packet_id_++;
+  packet.src = src;
+  packet.dst = dst;
+  packet.inject_cycle = cycle_;
+  packet.payloads = std::move(payloads);
+  ++stats_.packets_injected;
+  stats_.flits_injected += packet.payloads.size();
+  const std::uint64_t id = packet.id;
+  nis_[src].enqueue(std::move(packet));
+  return id;
+}
+
+void Network::step() {
+  for (auto& ni : nis_) ni.step(cycle_);
+  for (auto& router : routers_) router.step(cycle_);
+  ++cycle_;
+  stats_.cycles = cycle_;
+}
+
+bool Network::run_until_idle(std::uint64_t max_cycles) {
+  for (std::uint64_t i = 0; i < max_cycles; ++i) {
+    if (idle()) return true;
+    step();
+  }
+  return idle();
+}
+
+bool Network::idle() const noexcept {
+  for (const auto& router : routers_)
+    if (!router.idle()) return false;
+  for (const auto& ni : nis_)
+    if (!ni.idle()) return false;
+  for (const auto& ch : flit_channels_)
+    if (!ch.empty()) return false;
+  for (const auto& ch : credit_channels_)
+    if (!ch.empty()) return false;
+  return true;
+}
+
+std::size_t Network::injection_backlog(std::int32_t node) const {
+  return nis_[static_cast<std::size_t>(node)].backlog();
+}
+
+std::size_t Network::buffered_flits() const noexcept {
+  std::size_t total = 0;
+  for (const auto& router : routers_) total += router.buffered_flits();
+  return total;
+}
+
+}  // namespace nocbt::noc

@@ -1,0 +1,91 @@
+#pragma once
+// Network: the assembled NoC.
+//
+// Owns the mesh of routers, all flit/credit channels, one network interface
+// per node, the BT recorder tapping every physical link, and the transport
+// statistics. This is the public entry point of the NoC library:
+//
+//   NocConfig cfg;                       // 4x4, 4 VCs, XY, 512-bit links
+//   Network net(cfg);
+//   net.set_sink(dst, [](Packet&& p, uint64_t cycle) { ... });
+//   net.inject(src, dst, payloads);
+//   net.run_until_idle();
+//   net.bt().total();                    // accumulated bit transitions
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "noc/bt_recorder.h"
+#include "noc/channel.h"
+#include "noc/flit.h"
+#include "noc/network_interface.h"
+#include "noc/noc_config.h"
+#include "noc/noc_stats.h"
+#include "noc/router.h"
+#include "noc/routing.h"
+
+namespace nocbt::noc {
+
+class Network {
+ public:
+  using PacketSink = NetworkInterface::PacketSink;
+
+  explicit Network(const NocConfig& cfg);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Install a delivery callback for packets arriving at `node`.
+  void set_sink(std::int32_t node, PacketSink sink);
+
+  /// Submit a packet. Each payload must be exactly `flit_payload_bits` wide;
+  /// the packet enters `src`'s source queue this cycle. Returns the packet id.
+  std::uint64_t inject(std::int32_t src, std::int32_t dst,
+                       std::vector<BitVec> payloads);
+
+  /// Advance the network by one cycle.
+  void step();
+
+  /// Step until no flit/credit/packet is anywhere in flight, or until
+  /// `max_cycles` additional cycles have elapsed. Returns true if the
+  /// network drained.
+  bool run_until_idle(std::uint64_t max_cycles = 10'000'000);
+
+  /// True when all routers, NIs and channels are empty.
+  [[nodiscard]] bool idle() const noexcept;
+
+  [[nodiscard]] std::uint64_t cycle() const noexcept { return cycle_; }
+  [[nodiscard]] const MeshShape& shape() const noexcept { return shape_; }
+  [[nodiscard]] const NocConfig& config() const noexcept { return cfg_; }
+
+  [[nodiscard]] const BtRecorder& bt() const noexcept { return bt_; }
+  [[nodiscard]] BtRecorder& bt() noexcept { return bt_; }
+  [[nodiscard]] const NocStats& stats() const noexcept { return stats_; }
+
+  /// Packets queued at `node`'s NI, not yet assigned an injection VC.
+  [[nodiscard]] std::size_t injection_backlog(std::int32_t node) const;
+
+  /// Total flits buffered inside routers (diagnostics / livelock checks).
+  [[nodiscard]] std::size_t buffered_flits() const noexcept;
+
+ private:
+  void build();
+  Channel<Flit>* new_flit_channel(const LinkInfo& info);
+  Channel<Credit>* new_credit_channel();
+
+  NocConfig cfg_;
+  MeshShape shape_;
+  BtRecorder bt_;
+  NocStats stats_;
+  std::uint64_t cycle_ = 0;
+  std::uint64_t next_packet_id_ = 0;
+
+  std::deque<Router> routers_;
+  std::deque<NetworkInterface> nis_;
+  std::deque<Channel<Flit>> flit_channels_;
+  std::deque<Channel<Credit>> credit_channels_;
+};
+
+}  // namespace nocbt::noc

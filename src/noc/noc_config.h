@@ -1,0 +1,47 @@
+#pragma once
+// NoC configuration. Defaults mirror the paper's evaluation setup (§V-B):
+// 2D mesh, X-Y routing, 4 virtual channels with 4-flit buffers per VC.
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "noc/routing.h"
+
+namespace nocbt::noc {
+
+/// Which link classes the BT recorder accumulates. The paper's Fig. 8 sums
+/// over router output ports, i.e. inter-router links plus ejection links.
+struct BtScopeConfig {
+  bool count_injection = false;  ///< NI -> router links (NI output ports)
+  bool count_inter_router = true;
+  bool count_ejection = true;    ///< router -> NI links (router local outports)
+};
+
+/// Full network configuration.
+struct NocConfig {
+  std::int32_t rows = 4;
+  std::int32_t cols = 4;
+  std::int32_t num_vcs = 4;          ///< virtual channels per port
+  std::int32_t vc_buffer_depth = 4;  ///< flit slots per VC
+  unsigned flit_payload_bits = 512;  ///< link width (payload wires)
+  unsigned channel_latency = 1;      ///< link traversal cycles
+  RoutingAlgorithm routing = RoutingAlgorithm::kXY;
+  BtScopeConfig bt_scope;
+
+  /// Throws std::invalid_argument on an unusable configuration.
+  void validate() const {
+    if (rows < 1 || cols < 1)
+      throw std::invalid_argument("NocConfig: mesh must be at least 1x1");
+    if (num_vcs < 1) throw std::invalid_argument("NocConfig: num_vcs must be >= 1");
+    if (vc_buffer_depth < 1)
+      throw std::invalid_argument("NocConfig: vc_buffer_depth must be >= 1");
+    if (flit_payload_bits == 0)
+      throw std::invalid_argument("NocConfig: flit_payload_bits must be > 0");
+    if (channel_latency < 1)
+      throw std::invalid_argument("NocConfig: channel_latency must be >= 1");
+  }
+
+  [[nodiscard]] std::int32_t node_count() const noexcept { return rows * cols; }
+};
+
+}  // namespace nocbt::noc

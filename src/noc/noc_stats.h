@@ -1,0 +1,31 @@
+#pragma once
+// Aggregate transport statistics for a simulation run.
+
+#include <cstdint>
+
+#include "common/stats.h"
+
+namespace nocbt::noc {
+
+/// Counters and distributions collected by the Network.
+struct NocStats {
+  std::uint64_t packets_injected = 0;
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t flits_injected = 0;
+  std::uint64_t flits_delivered = 0;
+  std::uint64_t cycles = 0;
+
+  /// End-to-end packet latency in cycles, source-queueing included.
+  RunningStat packet_latency;
+  /// Inter-router hops per packet.
+  RunningStat packet_hops;
+
+  /// Delivered flits per cycle per node — a throughput figure of merit.
+  [[nodiscard]] double flit_throughput(std::int32_t nodes) const noexcept {
+    if (cycles == 0 || nodes <= 0) return 0.0;
+    return static_cast<double>(flits_delivered) /
+           (static_cast<double>(cycles) * nodes);
+  }
+};
+
+}  // namespace nocbt::noc

@@ -1,0 +1,211 @@
+#include "noc/router.h"
+
+#include <stdexcept>
+
+namespace nocbt::noc {
+
+Router::Router(const NocConfig& cfg, const MeshShape& shape, std::int32_t id)
+    : cfg_(cfg), shape_(shape), id_(id) {
+  inputs_.reserve(kNumPorts);
+  outputs_.reserve(kNumPorts);
+  for (int p = 0; p < kNumPorts; ++p) {
+    inputs_.emplace_back(static_cast<std::size_t>(cfg.num_vcs));
+    outputs_.emplace_back(static_cast<std::size_t>(cfg.num_vcs),
+                          cfg.vc_buffer_depth);
+  }
+}
+
+void Router::connect_input(Port port, Channel<Flit>* in_flits,
+                           Channel<Credit>* credit_return) {
+  inputs_[port].in = in_flits;
+  inputs_[port].credit_return = credit_return;
+}
+
+void Router::connect_output(Port port, Channel<Flit>* out_flits,
+                            Channel<Credit>* credit_in) {
+  outputs_[port].out = out_flits;
+  outputs_[port].credit_in = credit_in;
+}
+
+void Router::step(std::uint64_t cycle) {
+  ingest_credits(cycle);
+  ingest_flits(cycle);
+  compute_routes();
+  allocate_vcs();
+  allocate_and_traverse_switch(cycle);
+}
+
+void Router::ingest_credits(std::uint64_t cycle) {
+  for (auto& out : outputs_) {
+    if (!out.credit_in) continue;
+    while (auto credit = out.credit_in->pop_ready(cycle)) {
+      ++out.credits[credit->vc];
+      if (out.credits[credit->vc] > cfg_.vc_buffer_depth)
+        throw std::logic_error("Router: credit overflow (protocol bug)");
+    }
+  }
+}
+
+void Router::ingest_flits(std::uint64_t cycle) {
+  for (auto& in : inputs_) {
+    if (!in.in) continue;
+    if (auto flit = in.in->pop_ready(cycle)) {
+      VcState& vc = in.vcs[flit->vc];
+      if (vc.buffer.size() >= static_cast<std::size_t>(cfg_.vc_buffer_depth))
+        throw std::logic_error("Router: VC buffer overflow (protocol bug)");
+      const bool was_empty_idle =
+          vc.stage == VcStage::kIdle && vc.buffer.empty();
+      vc.buffer.push_back(std::move(*flit));
+      if (was_empty_idle) {
+        if (!is_head(vc.buffer.front().kind))
+          throw std::logic_error("Router: body flit on idle VC (protocol bug)");
+        vc.stage = VcStage::kRouting;
+      }
+    }
+  }
+}
+
+void Router::compute_routes() {
+  for (auto& in : inputs_) {
+    for (auto& vc : in.vcs) {
+      if (vc.stage != VcStage::kRouting || vc.buffer.empty()) continue;
+      const Flit& head = vc.buffer.front();
+      vc.out_port =
+          route_dimension_ordered(shape_, cfg_.routing, id_, head.dst);
+      vc.stage = VcStage::kWaitingVc;
+    }
+  }
+}
+
+void Router::allocate_vcs() {
+  // One VC grant per output port per cycle; bidders are (in_port, in_vc)
+  // pairs whose head flit has been routed to this output.
+  const auto num_vcs = static_cast<std::size_t>(cfg_.num_vcs);
+  for (int out_port = 0; out_port < kNumPorts; ++out_port) {
+    OutputUnit& out = outputs_[out_port];
+    if (!out.out) continue;
+    std::vector<bool> requests(num_vcs * kNumPorts, false);
+    bool any = false;
+    for (int in_port = 0; in_port < kNumPorts; ++in_port) {
+      for (std::size_t v = 0; v < num_vcs; ++v) {
+        const VcState& vc = inputs_[in_port].vcs[v];
+        if (vc.stage == VcStage::kWaitingVc && vc.out_port == out_port) {
+          requests[static_cast<std::size_t>(in_port) * num_vcs + v] = true;
+          any = true;
+        }
+      }
+    }
+    if (!any) continue;
+    // Lowest-index free downstream VC.
+    std::int32_t free_vc = -1;
+    for (std::size_t v = 0; v < num_vcs; ++v) {
+      if (out.vc_free[v]) {
+        free_vc = static_cast<std::int32_t>(v);
+        break;
+      }
+    }
+    if (free_vc < 0) continue;
+    const std::int32_t winner = out.vc_alloc_arb.arbitrate(requests);
+    if (winner < 0) continue;
+    const auto in_port = static_cast<std::size_t>(winner) / num_vcs;
+    const auto in_vc = static_cast<std::size_t>(winner) % num_vcs;
+    VcState& vc = inputs_[in_port].vcs[in_vc];
+    vc.stage = VcStage::kActive;
+    vc.out_vc = free_vc;
+    out.vc_free[free_vc] = false;
+  }
+}
+
+void Router::allocate_and_traverse_switch(std::uint64_t cycle) {
+  const auto num_vcs = static_cast<std::size_t>(cfg_.num_vcs);
+
+  // Phase 1 (input arbitration): each input port nominates one VC that is
+  // active, has a buffered flit, and holds a downstream credit.
+  std::vector<std::int32_t> nominee(kNumPorts, -1);  // VC index per input port
+  for (int in_port = 0; in_port < kNumPorts; ++in_port) {
+    InputUnit& in = inputs_[in_port];
+    std::vector<bool> requests(num_vcs, false);
+    bool any = false;
+    for (std::size_t v = 0; v < num_vcs; ++v) {
+      const VcState& vc = in.vcs[v];
+      if (vc.stage == VcStage::kActive && !vc.buffer.empty() &&
+          outputs_[vc.out_port].credits[vc.out_vc] > 0) {
+        requests[v] = true;
+        any = true;
+      }
+    }
+    if (any) nominee[in_port] = in.vc_arb.arbitrate(requests);
+  }
+
+  // Phase 2 (output arbitration): each output port picks one nominating
+  // input port; the winner's flit traverses the crossbar this cycle.
+  for (int out_port = 0; out_port < kNumPorts; ++out_port) {
+    OutputUnit& out = outputs_[out_port];
+    if (!out.out) continue;
+    std::vector<bool> requests(kNumPorts, false);
+    bool any = false;
+    for (int in_port = 0; in_port < kNumPorts; ++in_port) {
+      if (nominee[in_port] >= 0 &&
+          inputs_[in_port].vcs[static_cast<std::size_t>(nominee[in_port])]
+                  .out_port == out_port) {
+        requests[in_port] = true;
+        any = true;
+      }
+    }
+    if (!any) continue;
+    const std::int32_t winner_port = out.switch_arb.arbitrate(requests);
+    if (winner_port < 0) continue;
+
+    InputUnit& in = inputs_[winner_port];
+    const auto vc_index = static_cast<std::size_t>(nominee[winner_port]);
+    VcState& vc = in.vcs[vc_index];
+
+    Flit flit = std::move(vc.buffer.front());
+    vc.buffer.pop_front();
+    const bool tail = is_tail(flit.kind);
+    const std::int32_t out_vc = vc.out_vc;
+
+    flit.vc = out_vc;
+    if (out_port != kLocal) ++flit.hops;
+    --out.credits[out_vc];
+    out.out->push(cycle, std::move(flit));
+
+    // A buffer slot freed: return a credit upstream for the input VC.
+    if (in.credit_return)
+      in.credit_return->push(cycle,
+                             Credit{static_cast<std::int32_t>(vc_index)});
+
+    if (tail) {
+      out.vc_free[out_vc] = true;  // relaxed reuse: free once the tail is sent
+      refresh_vc(vc);
+    }
+  }
+}
+
+bool Router::idle() const noexcept {
+  for (const auto& in : inputs_) {
+    for (const auto& vc : in.vcs) {
+      if (!vc.buffer.empty() || vc.stage != VcStage::kIdle) return false;
+    }
+  }
+  return true;
+}
+
+std::size_t Router::buffered_flits() const noexcept {
+  std::size_t total = 0;
+  for (const auto& in : inputs_)
+    for (const auto& vc : in.vcs) total += vc.buffer.size();
+  return total;
+}
+
+void Router::refresh_vc(VcState& vc) {
+  vc.stage = VcStage::kIdle;
+  vc.out_vc = -1;
+  if (!vc.buffer.empty()) {
+    if (!is_head(vc.buffer.front().kind))
+      throw std::logic_error("Router: stray body flit after tail");
+    vc.stage = VcStage::kRouting;
+  }
+}
+
+}  // namespace nocbt::noc

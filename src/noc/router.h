@@ -1,0 +1,104 @@
+#pragma once
+// Input-queued virtual-channel wormhole router.
+//
+// Pipeline per cycle (single-cycle router, links add `channel_latency`):
+//   1. credit ingest        — replenish per-output-VC credit counters
+//   2. flit ingest          — channel -> per-VC input FIFO
+//   3. route computation    — head flit picks an output port (X-Y / Y-X)
+//   4. VC allocation        — head flit acquires a free downstream VC
+//   5. switch allocation    — separable input-first round-robin allocator
+//   6. switch traversal     — winners cross to the output channel, a credit
+//                             returns upstream, tail flits release the VC
+//
+// VC reuse is relaxed (the downstream VC is released when the tail is
+// *sent*); FIFO order per link per VC keeps packets well-formed downstream.
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "noc/arbiter.h"
+#include "noc/channel.h"
+#include "noc/flit.h"
+#include "noc/noc_config.h"
+#include "noc/routing.h"
+
+namespace nocbt::noc {
+
+class Router {
+ public:
+  Router(const NocConfig& cfg, const MeshShape& shape, std::int32_t id);
+
+  /// Wire an input port: flits arrive on `in_flits`; credits for freed
+  /// buffer slots are returned upstream on `credit_return`.
+  void connect_input(Port port, Channel<Flit>* in_flits,
+                     Channel<Credit>* credit_return);
+
+  /// Wire an output port: flits depart on `out_flits`; downstream credits
+  /// arrive on `credit_in`.
+  void connect_output(Port port, Channel<Flit>* out_flits,
+                      Channel<Credit>* credit_in);
+
+  /// Advance one cycle.
+  void step(std::uint64_t cycle);
+
+  /// True when no flit is buffered and every VC is idle.
+  [[nodiscard]] bool idle() const noexcept;
+
+  [[nodiscard]] std::int32_t id() const noexcept { return id_; }
+
+  /// Total flits currently buffered (for diagnostics).
+  [[nodiscard]] std::size_t buffered_flits() const noexcept;
+
+ private:
+  enum class VcStage : std::uint8_t { kIdle, kRouting, kWaitingVc, kActive };
+
+  struct VcState {
+    VcStage stage = VcStage::kIdle;
+    Port out_port = kLocal;
+    std::int32_t out_vc = -1;
+    std::deque<Flit> buffer;
+  };
+
+  struct InputUnit {
+    Channel<Flit>* in = nullptr;
+    Channel<Credit>* credit_return = nullptr;
+    std::vector<VcState> vcs;
+    RoundRobinArbiter vc_arb;  // picks which VC bids for the switch
+
+    explicit InputUnit(std::size_t num_vcs)
+        : vcs(num_vcs), vc_arb(num_vcs) {}
+  };
+
+  struct OutputUnit {
+    Channel<Flit>* out = nullptr;
+    Channel<Credit>* credit_in = nullptr;
+    std::vector<std::int32_t> credits;  // per downstream VC
+    std::vector<bool> vc_free;          // downstream VC not owned by a packet
+    RoundRobinArbiter vc_alloc_arb;     // among (in_port * V + vc) bidders
+    RoundRobinArbiter switch_arb;       // among input ports
+
+    OutputUnit(std::size_t num_vcs, std::int32_t depth)
+        : credits(num_vcs, depth),
+          vc_free(num_vcs, true),
+          vc_alloc_arb(num_vcs * kNumPorts),
+          switch_arb(kNumPorts) {}
+  };
+
+  void ingest_credits(std::uint64_t cycle);
+  void ingest_flits(std::uint64_t cycle);
+  void compute_routes();
+  void allocate_vcs();
+  void allocate_and_traverse_switch(std::uint64_t cycle);
+  /// After a tail departs, restart the VC state machine if another packet's
+  /// head is already queued behind it.
+  void refresh_vc(VcState& vc);
+
+  const NocConfig& cfg_;
+  const MeshShape& shape_;
+  std::int32_t id_;
+  std::vector<InputUnit> inputs_;    // indexed by Port
+  std::vector<OutputUnit> outputs_;  // indexed by Port
+};
+
+}  // namespace nocbt::noc

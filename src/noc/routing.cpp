@@ -1,0 +1,54 @@
+#include "noc/routing.h"
+
+#include <cstdlib>
+
+namespace nocbt::noc {
+
+std::int32_t MeshShape::neighbor(std::int32_t node, Port port) const noexcept {
+  Coord c = coord_of(node);
+  switch (port) {
+    case kEast: ++c.x; break;
+    case kWest: --c.x; break;
+    case kNorth: --c.y; break;
+    case kSouth: ++c.y; break;
+    default: return -1;
+  }
+  return contains(c) ? node_at(c) : -1;
+}
+
+std::int32_t MeshShape::manhattan(std::int32_t a, std::int32_t b) const noexcept {
+  const Coord ca = coord_of(a);
+  const Coord cb = coord_of(b);
+  return std::abs(ca.x - cb.x) + std::abs(ca.y - cb.y);
+}
+
+Port opposite(Port port) {
+  switch (port) {
+    case kEast: return kWest;
+    case kWest: return kEast;
+    case kNorth: return kSouth;
+    case kSouth: return kNorth;
+    default: throw std::invalid_argument("opposite: not a direction port");
+  }
+}
+
+Port route_dimension_ordered(const MeshShape& shape, RoutingAlgorithm algorithm,
+                             std::int32_t current, std::int32_t dst) {
+  const Coord cur = shape.coord_of(current);
+  const Coord target = shape.coord_of(dst);
+  const bool x_first = algorithm == RoutingAlgorithm::kXY;
+  if (x_first) {
+    if (target.x > cur.x) return kEast;
+    if (target.x < cur.x) return kWest;
+    if (target.y > cur.y) return kSouth;
+    if (target.y < cur.y) return kNorth;
+  } else {
+    if (target.y > cur.y) return kSouth;
+    if (target.y < cur.y) return kNorth;
+    if (target.x > cur.x) return kEast;
+    if (target.x < cur.x) return kWest;
+  }
+  return kLocal;
+}
+
+}  // namespace nocbt::noc

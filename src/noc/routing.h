@@ -1,0 +1,77 @@
+#pragma once
+// Mesh geometry and routing functions.
+//
+// Port numbering on every router: 0=East, 1=West, 2=North, 3=South, 4=Local.
+// Coordinates: x grows eastward (column index), y grows southward (row
+// index); node id = y * cols + x. The paper's NoC uses dimension-ordered X-Y
+// routing (deadlock-free on a mesh); Y-X is provided for ablations.
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace nocbt::noc {
+
+/// Router port indices. kLocal attaches the network interface.
+enum Port : std::int32_t {
+  kEast = 0,
+  kWest = 1,
+  kNorth = 2,
+  kSouth = 3,
+  kLocal = 4,
+  kNumPorts = 5,
+};
+
+/// Which dimension-ordered routing to use.
+enum class RoutingAlgorithm { kXY, kYX };
+
+/// Integer coordinates of a mesh node.
+struct Coord {
+  std::int32_t x = 0;
+  std::int32_t y = 0;
+  friend bool operator==(const Coord&, const Coord&) = default;
+};
+
+/// Geometry helper for an R x C mesh.
+class MeshShape {
+ public:
+  MeshShape(std::int32_t rows, std::int32_t cols) : rows_(rows), cols_(cols) {
+    if (rows < 1 || cols < 1)
+      throw std::invalid_argument("MeshShape: rows/cols must be >= 1");
+  }
+
+  [[nodiscard]] std::int32_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::int32_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::int32_t node_count() const noexcept { return rows_ * cols_; }
+
+  [[nodiscard]] Coord coord_of(std::int32_t node) const noexcept {
+    return Coord{node % cols_, node / cols_};
+  }
+  [[nodiscard]] std::int32_t node_at(Coord c) const noexcept {
+    return c.y * cols_ + c.x;
+  }
+  [[nodiscard]] bool contains(Coord c) const noexcept {
+    return c.x >= 0 && c.x < cols_ && c.y >= 0 && c.y < rows_;
+  }
+
+  /// Neighbor node through `port` (kEast..kSouth), or -1 at a mesh edge.
+  [[nodiscard]] std::int32_t neighbor(std::int32_t node, Port port) const noexcept;
+
+  /// Manhattan distance in hops between two nodes.
+  [[nodiscard]] std::int32_t manhattan(std::int32_t a, std::int32_t b) const noexcept;
+
+ private:
+  std::int32_t rows_;
+  std::int32_t cols_;
+};
+
+/// Opposite direction of a port (east<->west, north<->south).
+[[nodiscard]] Port opposite(Port port);
+
+/// Output port for a flit at `current` heading to `dst` under the given
+/// dimension-ordered algorithm. Returns kLocal when current == dst.
+[[nodiscard]] Port route_dimension_ordered(const MeshShape& shape,
+                                           RoutingAlgorithm algorithm,
+                                           std::int32_t current,
+                                           std::int32_t dst);
+
+}  // namespace nocbt::noc

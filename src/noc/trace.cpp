@@ -1,0 +1,20 @@
+#include "noc/trace.h"
+
+#include "common/csv.h"
+
+namespace nocbt::noc {
+
+std::size_t PacketTrace::dump_csv(const std::string& path) const {
+  CsvWriter csv(path, {"packet_id", "src", "dst", "num_flits", "inject_cycle",
+                       "eject_cycle", "latency", "hops"});
+  for (const auto& e : events_) {
+    csv.add_row({std::to_string(e.packet_id), std::to_string(e.src),
+                 std::to_string(e.dst), std::to_string(e.num_flits),
+                 std::to_string(e.inject_cycle), std::to_string(e.eject_cycle),
+                 std::to_string(e.eject_cycle - e.inject_cycle),
+                 std::to_string(e.hops)});
+  }
+  return csv.rows_written();
+}
+
+}  // namespace nocbt::noc

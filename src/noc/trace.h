@@ -1,0 +1,41 @@
+#pragma once
+// Packet trace: the "packet traffic trace" output of the platform (Fig. 7).
+//
+// Records one event per packet delivery; can be dumped to CSV for offline
+// analysis or replayed as a synthetic workload.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nocbt::noc {
+
+/// One delivered-packet record.
+struct TraceEvent {
+  std::uint64_t packet_id = 0;
+  std::int32_t src = -1;
+  std::int32_t dst = -1;
+  std::uint32_t num_flits = 0;
+  std::uint64_t inject_cycle = 0;
+  std::uint64_t eject_cycle = 0;
+  std::uint16_t hops = 0;
+};
+
+/// Append-only trace with CSV export.
+class PacketTrace {
+ public:
+  void record(const TraceEvent& event) { events_.push_back(event); }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+
+  /// Write all events to `path` as CSV. Returns rows written.
+  std::size_t dump_csv(const std::string& path) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace nocbt::noc

@@ -1,0 +1,101 @@
+#include "ordering/encoders.h"
+
+#include <stdexcept>
+
+namespace nocbt::ordering {
+namespace {
+
+void xor_segment(BitVec& v, unsigned start, unsigned len) {
+  // Flip bits [start, start+len).
+  for (unsigned pos = start; pos < start + len;) {
+    const unsigned chunk = std::min(64u, start + len - pos);
+    v.set_field(pos, chunk, ~v.get_field(pos, chunk));
+    pos += chunk;
+  }
+}
+
+int segment_transitions(const BitVec& a, const BitVec& b, unsigned start,
+                        unsigned len) {
+  int total = 0;
+  for (unsigned pos = start; pos < start + len;) {
+    const unsigned chunk = std::min(64u, start + len - pos);
+    total += popcount64(a.get_field(pos, chunk) ^ b.get_field(pos, chunk));
+    pos += chunk;
+  }
+  return total;
+}
+
+}  // namespace
+
+EncodedStream bus_invert_encode(const std::vector<BitVec>& flits,
+                                unsigned segments) {
+  EncodedStream out;
+  out.extra_wires_per_link = segments;
+  if (flits.empty()) return out;
+  const unsigned width = flits.front().width();
+  if (segments == 0 || width % segments != 0)
+    throw std::invalid_argument("bus_invert_encode: segments must divide width");
+  const unsigned seg_len = width / segments;
+
+  BitVec wire_state(width);            // previous transmitted payload
+  std::vector<bool> invert_state(segments, false);
+
+  for (const BitVec& flit : flits) {
+    BitVec tx = flit;
+    for (unsigned s = 0; s < segments; ++s) {
+      const unsigned start = s * seg_len;
+      const int plain = segment_transitions(wire_state, tx, start, seg_len);
+      // Inverting the segment flips every differing/matching bit role:
+      // transitions become seg_len - plain.
+      const int inverted = static_cast<int>(seg_len) - plain;
+      const bool invert = inverted < plain;
+      if (invert) xor_segment(tx, start, seg_len);
+      if (invert != invert_state[s]) ++out.extra_wire_transitions;
+      invert_state[s] = invert;
+    }
+    wire_state = tx;
+    out.payloads.push_back(std::move(tx));
+  }
+  return out;
+}
+
+EncodedStream xor_delta_encode(const std::vector<BitVec>& flits) {
+  EncodedStream out;
+  out.extra_wires_per_link = 0;
+  if (flits.empty()) return out;
+  out.payloads.reserve(flits.size());
+  out.payloads.push_back(flits.front());
+  for (std::size_t i = 1; i < flits.size(); ++i) {
+    BitVec delta(flits[i].width());
+    for (unsigned pos = 0; pos < flits[i].width();) {
+      const unsigned chunk = std::min(64u, flits[i].width() - pos);
+      delta.set_field(pos, chunk,
+                      flits[i].get_field(pos, chunk) ^
+                          flits[i - 1].get_field(pos, chunk));
+      pos += chunk;
+    }
+    out.payloads.push_back(std::move(delta));
+  }
+  return out;
+}
+
+std::vector<BitVec> xor_delta_decode(const std::vector<BitVec>& encoded) {
+  std::vector<BitVec> out;
+  if (encoded.empty()) return out;
+  out.reserve(encoded.size());
+  out.push_back(encoded.front());
+  for (std::size_t i = 1; i < encoded.size(); ++i) {
+    BitVec v(encoded[i].width());
+    for (unsigned pos = 0; pos < encoded[i].width();) {
+      const unsigned chunk = std::min(64u, encoded[i].width() - pos);
+      v.set_field(pos, chunk,
+                  encoded[i].get_field(pos, chunk) ^
+                      out[i - 1].get_field(pos, chunk));
+      pos += chunk;
+    }
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+}  // namespace nocbt::ordering

@@ -1,0 +1,45 @@
+#pragma once
+// Related-work bus-encoding baselines for ablation A3.
+//
+// Bus-invert coding [Stan & Burleson, TVLSI'95]: per flit, transmit either
+// the data or its complement, whichever flips fewer wires relative to the
+// previous transmission; one extra invert wire per segment carries the
+// choice. Needs extra lines on the bus (the paper contrasts its ordering
+// with exactly this cost).
+//
+// XOR-delta encoding (in the spirit of RiBiT / delta schemes [11]):
+// transmit d_t = v_t XOR v_{t-1}; correlated streams produce near-zero
+// deltas, hence near-zero transitions between consecutive encoded flits.
+// Requires a decoder register per link.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvec.h"
+
+namespace nocbt::ordering {
+
+/// Result of encoding a flit stream: the transformed payload sequence plus
+/// the extra wires the scheme needs per link.
+struct EncodedStream {
+  std::vector<BitVec> payloads;
+  unsigned extra_wires_per_link = 0;
+  /// Transitions contributed by the extra (e.g. invert) wires.
+  std::uint64_t extra_wire_transitions = 0;
+};
+
+/// Bus-invert coding with `segments` independently inverted slices of the
+/// flit (segments must divide the payload width). One invert wire per
+/// segment. Transitions on the invert wires themselves are tallied in
+/// `extra_wire_transitions`.
+[[nodiscard]] EncodedStream bus_invert_encode(const std::vector<BitVec>& flits,
+                                              unsigned segments = 1);
+
+/// XOR-delta coding: payload[0] unchanged, payload[t] = flit[t] ^ flit[t-1].
+[[nodiscard]] EncodedStream xor_delta_encode(const std::vector<BitVec>& flits);
+
+/// Invert XOR-delta (for round-trip tests).
+[[nodiscard]] std::vector<BitVec> xor_delta_decode(
+    const std::vector<BitVec>& encoded);
+
+}  // namespace nocbt::ordering

@@ -1,0 +1,85 @@
+#include "ordering/ordering.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace nocbt::ordering {
+
+std::string to_string(OrderingMode mode) {
+  switch (mode) {
+    case OrderingMode::kBaseline: return "O0-baseline";
+    case OrderingMode::kAffiliated: return "O1-affiliated";
+    case OrderingMode::kSeparated: return "O2-separated";
+  }
+  return "?";
+}
+
+OrderingMode parse_ordering_mode(const std::string& s) {
+  if (s == "O0" || s == "baseline") return OrderingMode::kBaseline;
+  if (s == "O1" || s == "affiliated") return OrderingMode::kAffiliated;
+  if (s == "O2" || s == "separated") return OrderingMode::kSeparated;
+  throw std::invalid_argument("parse_ordering_mode: unknown mode '" + s + "'");
+}
+
+std::vector<std::uint32_t> popcount_descending_order(
+    std::span<const std::uint32_t> patterns, DataFormat format) {
+  std::vector<std::uint32_t> perm(patterns.size());
+  std::iota(perm.begin(), perm.end(), 0u);
+  std::stable_sort(perm.begin(), perm.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return pattern_popcount(patterns[a], format) >
+                            pattern_popcount(patterns[b], format);
+                   });
+  return perm;
+}
+
+std::vector<std::uint32_t> inverse_permutation(
+    std::span<const std::uint32_t> perm) {
+  std::vector<std::uint32_t> inv(perm.size());
+  for (std::uint32_t i = 0; i < perm.size(); ++i)
+    inv[perm[i]] = i;
+  return inv;
+}
+
+std::vector<std::uint32_t> separated_pairing_index(
+    std::span<const std::uint32_t> weight_perm,
+    std::span<const std::uint32_t> input_perm) {
+  if (weight_perm.size() != input_perm.size())
+    throw std::invalid_argument("separated_pairing_index: size mismatch");
+  const auto inv_input = inverse_permutation(input_perm);
+  std::vector<std::uint32_t> pair_index(weight_perm.size());
+  for (std::size_t i = 0; i < weight_perm.size(); ++i)
+    pair_index[i] = inv_input[weight_perm[i]];
+  return pair_index;
+}
+
+bool is_permutation(std::span<const std::uint32_t> perm, std::size_t n) {
+  if (perm.size() != n) return false;
+  std::vector<bool> seen(n, false);
+  for (const std::uint32_t idx : perm) {
+    if (idx >= n || seen[idx]) return false;
+    seen[idx] = true;
+  }
+  return true;
+}
+
+std::vector<std::uint32_t> order_stream_descending(
+    std::span<const std::uint32_t> patterns, DataFormat format,
+    std::size_t window_values) {
+  if (window_values == 0)
+    throw std::invalid_argument("order_stream_descending: window_values == 0");
+  std::vector<std::uint32_t> out;
+  out.reserve(patterns.size());
+  for (std::size_t start = 0; start < patterns.size();
+       start += window_values) {
+    const std::size_t len =
+        std::min(window_values, patterns.size() - start);
+    const auto window = patterns.subspan(start, len);
+    const auto perm = popcount_descending_order(window, format);
+    for (const std::uint32_t idx : perm) out.push_back(window[idx]);
+  }
+  return out;
+}
+
+}  // namespace nocbt::ordering

@@ -1,0 +1,78 @@
+#pragma once
+// '1'-bit count-based data transmission ordering — the paper's primary
+// contribution (§III-B, §IV).
+//
+// Three transmission configurations (§V-B):
+//   O0 baseline   — values transmitted in natural task order
+//   O1 affiliated — (weight, input) pairs sorted by the weight's popcount,
+//                   descending; pairing preserved, no recovery needed
+//   O2 separated  — weights and inputs each sorted by their own popcount;
+//                   a minimal-bit-width pairing index re-pairs them at the PE
+//
+// All routines operate on value bit patterns (uint32_t, low value_bits()
+// significant) and return permutations so callers can reorder values and
+// any side data consistently.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/data_format.h"
+
+namespace nocbt::ordering {
+
+/// Transmission ordering configuration (paper names O0/O1/O2).
+enum class OrderingMode : std::uint8_t {
+  kBaseline,    // O0
+  kAffiliated,  // O1
+  kSeparated,   // O2
+};
+
+[[nodiscard]] std::string to_string(OrderingMode mode);
+[[nodiscard]] OrderingMode parse_ordering_mode(const std::string& s);
+
+/// Permutation p such that patterns[p[0]], patterns[p[1]], ... have
+/// non-increasing popcount. Stable: equal-popcount values keep their
+/// original relative order, making the result deterministic.
+[[nodiscard]] std::vector<std::uint32_t> popcount_descending_order(
+    std::span<const std::uint32_t> patterns, DataFormat format);
+
+/// out[i] = values[perm[i]].
+template <typename T>
+[[nodiscard]] std::vector<T> apply_permutation(
+    std::span<const T> values, std::span<const std::uint32_t> perm) {
+  std::vector<T> out;
+  out.reserve(perm.size());
+  for (const std::uint32_t idx : perm) out.push_back(values[idx]);
+  return out;
+}
+
+/// inv[perm[i]] = i.
+[[nodiscard]] std::vector<std::uint32_t> inverse_permutation(
+    std::span<const std::uint32_t> perm);
+
+/// Pairing index for separated-ordering recovery: entry i gives the
+/// position, in the *sorted-input* sequence, of the input originally paired
+/// with the i-th *sorted weight*. The PE computes
+///   sum_i sorted_w[i] * sorted_in[pair_index[i]]
+/// to recover the original dot product. Width per entry is
+/// index_bits(N) — the "minimal-bit-width index" of §IV-C1.
+[[nodiscard]] std::vector<std::uint32_t> separated_pairing_index(
+    std::span<const std::uint32_t> weight_perm,
+    std::span<const std::uint32_t> input_perm);
+
+/// Verify that `perm` is a permutation of [0, n) (used by tests and by the
+/// packet decoder to validate sideband metadata).
+[[nodiscard]] bool is_permutation(std::span<const std::uint32_t> perm,
+                                  std::size_t n);
+
+/// Reorder a whole value stream window by window: within each consecutive
+/// window of `window_values` values, sort descending by popcount. This is
+/// the no-NoC experiment's transformation (§V-A): a window models one
+/// packet whose flits traverse a link back to back.
+[[nodiscard]] std::vector<std::uint32_t> order_stream_descending(
+    std::span<const std::uint32_t> patterns, DataFormat format,
+    std::size_t window_values);
+
+}  // namespace nocbt::ordering

@@ -1,0 +1,13 @@
+#include "ordering/ordering_unit.h"
+
+namespace nocbt::ordering {
+
+std::uint64_t OrderingUnitModel::cycles_to_order(std::uint32_t n) const noexcept {
+  if (n <= 1) return config_.popcount_stages;
+  // Pop-count pipeline depth + one transposition pass per value. Values
+  // beyond the lane width stream through the pipelined network at line
+  // rate, so the latency stays linear in n.
+  return config_.popcount_stages + n;
+}
+
+}  // namespace nocbt::ordering

@@ -1,0 +1,85 @@
+#include "ordering/two_flit.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "ordering/ordering.h"
+
+namespace nocbt::ordering {
+
+std::int64_t pairwise_product_sum(const TwoFlitAssignment& a,
+                                  DataFormat format) {
+  std::int64_t f = 0;
+  for (std::size_t i = 0; i < a.flit1.size(); ++i)
+    f += static_cast<std::int64_t>(pattern_popcount(a.flit1[i], format)) *
+         pattern_popcount(a.flit2[i], format);
+  return f;
+}
+
+TwoFlitAssignment interleave_descending(std::span<const std::uint32_t> values,
+                                        DataFormat format) {
+  if (values.size() % 2 != 0)
+    throw std::invalid_argument("interleave_descending: need an even count");
+  const auto perm = popcount_descending_order(values, format);
+  TwoFlitAssignment out;
+  out.flit1.reserve(values.size() / 2);
+  out.flit2.reserve(values.size() / 2);
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    if (i % 2 == 0)
+      out.flit1.push_back(values[perm[i]]);
+    else
+      out.flit2.push_back(values[perm[i]]);
+  }
+  return out;
+}
+
+namespace {
+
+// Recursively enumerate perfect matchings of the remaining values: take the
+// first unused value, pair it with every other unused value.
+std::int64_t best_matching(std::vector<std::uint32_t>& counts,
+                           std::vector<bool>& used, std::size_t n_used) {
+  const std::size_t n = counts.size();
+  if (n_used == n) return 0;
+  std::size_t first = 0;
+  while (used[first]) ++first;
+  used[first] = true;
+  std::int64_t best = -1;
+  for (std::size_t j = first + 1; j < n; ++j) {
+    if (used[j]) continue;
+    used[j] = true;
+    const std::int64_t rest = best_matching(counts, used, n_used + 2);
+    best = std::max(best,
+                    static_cast<std::int64_t>(counts[first]) * counts[j] + rest);
+    used[j] = false;
+  }
+  used[first] = false;
+  return best;
+}
+
+}  // namespace
+
+std::int64_t exhaustive_best_f(std::span<const std::uint32_t> values,
+                               DataFormat format) {
+  if (values.size() % 2 != 0)
+    throw std::invalid_argument("exhaustive_best_f: need an even count");
+  if (values.size() > 12)
+    throw std::invalid_argument("exhaustive_best_f: too large for brute force");
+  std::vector<std::uint32_t> counts;
+  counts.reserve(values.size());
+  for (const auto v : values)
+    counts.push_back(static_cast<std::uint32_t>(pattern_popcount(v, format)));
+  std::vector<bool> used(values.size(), false);
+  return best_matching(counts, used, 0);
+}
+
+double expected_transitions(const TwoFlitAssignment& a, DataFormat format) {
+  const double w = value_bits(format);
+  double sum_counts = 0.0;
+  for (const auto v : a.flit1) sum_counts += pattern_popcount(v, format);
+  for (const auto v : a.flit2) sum_counts += pattern_popcount(v, format);
+  const auto f = static_cast<double>(pairwise_product_sum(a, format));
+  return sum_counts - 2.0 * f / w;
+}
+
+}  // namespace nocbt::ordering

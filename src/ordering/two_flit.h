@@ -1,0 +1,45 @@
+#pragma once
+// The two-flit scenario of §III: given 2N numbers to place into two N-value
+// flits that traverse the same link back to back, maximize
+// F = sum_i x_i * y_i (Eq. 4), where x_i / y_i are the '1'-bit counts of
+// the values at position i of flit 1 / flit 2. The paper proves the
+// descending interleaved ordering x1 >= y1 >= x2 >= y2 >= ... is globally
+// optimal; `exhaustive_best_f` provides the brute-force reference used by
+// the tests to confirm optimality.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/data_format.h"
+
+namespace nocbt::ordering {
+
+/// Result of splitting 2N values into two flits.
+struct TwoFlitAssignment {
+  std::vector<std::uint32_t> flit1;  ///< values at positions 1..N of flit 1
+  std::vector<std::uint32_t> flit2;  ///< values at positions 1..N of flit 2
+};
+
+/// Pairwise product sum F = sum_i popcount(flit1[i]) * popcount(flit2[i]).
+[[nodiscard]] std::int64_t pairwise_product_sum(const TwoFlitAssignment& a,
+                                                DataFormat format);
+
+/// Count-based interleaved assignment (§III-B): sort all 2N values by
+/// popcount descending, then deal them alternately — largest to flit 1
+/// position 1, next to flit 2 position 1, and so on, enforcing
+/// x1 >= y1 >= x2 >= y2 >= ...
+[[nodiscard]] TwoFlitAssignment interleave_descending(
+    std::span<const std::uint32_t> values, DataFormat format);
+
+/// Brute force over all ways of pairing the 2N values into N (flit1, flit2)
+/// couples; returns the maximal achievable F. Cost is (2N-1)!!, so N <= 6.
+[[nodiscard]] std::int64_t exhaustive_best_f(
+    std::span<const std::uint32_t> values, DataFormat format);
+
+/// Expected bit transitions of an assignment under the independence model
+/// of Eq. 3: E_t = sum(x) + sum(y) - F * 2 / W with W = value_bits(format).
+[[nodiscard]] double expected_transitions(const TwoFlitAssignment& a,
+                                          DataFormat format);
+
+}  // namespace nocbt::ordering

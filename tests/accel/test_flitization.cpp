@@ -1,0 +1,144 @@
+// Tests for half-half flitization, pinned to the worked example of paper
+// Fig. 2 (k=5 conv task: 25 inputs + 25 weights + 1 bias over 16-slot
+// flits -> "8i+8w | 8i+8w | 8i+8w | 1i+1w+1b+13 zeros").
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "accel/flitization.h"
+
+namespace nocbt::accel {
+namespace {
+
+FlitLayout layout16x32() { return FlitLayout{16, 32}; }
+
+TEST(FlitLayout, Geometry) {
+  const FlitLayout layout{16, 32};
+  EXPECT_EQ(layout.half(), 8u);
+  EXPECT_EQ(layout.flit_bits(), 512u);
+  EXPECT_EQ(layout.slot_offset(3), 96u);
+}
+
+TEST(Flitization, Fig2ExampleLayout) {
+  // 25 pairs, 16 slots: 4 flits, bias in flit 3's left half slot 1.
+  const FlitLayout layout = layout16x32();
+  EXPECT_EQ(flits_needed(25, true, layout), 4u);
+  const BiasSlot pos = bias_position(25, layout);
+  EXPECT_EQ(pos.flit, 3u);
+  EXPECT_EQ(pos.slot, 1u);
+
+  std::vector<std::uint32_t> inputs(25);
+  std::vector<std::uint32_t> weights(25);
+  std::iota(inputs.begin(), inputs.end(), 100u);    // inputs 100..124
+  std::iota(weights.begin(), weights.end(), 200u);  // weights 200..224
+  const auto flits = pack_half_half(inputs, weights, 999u, layout);
+  ASSERT_EQ(flits.size(), 4u);
+
+  // Flit 0: inputs 0..7 left, weights 0..7 right.
+  for (unsigned s = 0; s < 8; ++s) {
+    EXPECT_EQ(flits[0].get_field(layout.slot_offset(s), 32), 100u + s);
+    EXPECT_EQ(flits[0].get_field(layout.slot_offset(8 + s), 32), 200u + s);
+  }
+  // Flit 3: input 24, bias, weight 24, rest zero.
+  EXPECT_EQ(flits[3].get_field(layout.slot_offset(0), 32), 124u);
+  EXPECT_EQ(flits[3].get_field(layout.slot_offset(1), 32), 999u);
+  EXPECT_EQ(flits[3].get_field(layout.slot_offset(8), 32), 224u);
+  for (unsigned s = 2; s < 8; ++s)
+    EXPECT_EQ(flits[3].get_field(layout.slot_offset(s), 32), 0u);
+  for (unsigned s = 9; s < 16; ++s)
+    EXPECT_EQ(flits[3].get_field(layout.slot_offset(s), 32), 0u);
+}
+
+TEST(Flitization, RoundTrip) {
+  const FlitLayout layout = layout16x32();
+  std::vector<std::uint32_t> inputs(25);
+  std::vector<std::uint32_t> weights(25);
+  std::iota(inputs.begin(), inputs.end(), 1u);
+  std::iota(weights.begin(), weights.end(), 1000u);
+  const auto flits = pack_half_half(inputs, weights, 0xDEADu, layout);
+  const UnpackedTask task = unpack_half_half(flits, 25, true, layout);
+  EXPECT_EQ(task.inputs, inputs);
+  EXPECT_EQ(task.weights, weights);
+  ASSERT_TRUE(task.bias.has_value());
+  EXPECT_EQ(*task.bias, 0xDEADu);
+}
+
+TEST(Flitization, ExactMultipleOpensNewFlitForBias) {
+  // 16 pairs on 16 slots: both halves of both flits full -> bias flit 2.
+  const FlitLayout layout = layout16x32();
+  EXPECT_EQ(flits_needed(16, false, layout), 2u);
+  EXPECT_EQ(flits_needed(16, true, layout), 3u);
+  const BiasSlot pos = bias_position(16, layout);
+  EXPECT_EQ(pos.flit, 2u);
+  EXPECT_EQ(pos.slot, 0u);
+
+  std::vector<std::uint32_t> vals(16, 7u);
+  const auto flits = pack_half_half(vals, vals, 42u, layout);
+  ASSERT_EQ(flits.size(), 3u);
+  EXPECT_EQ(flits[2].get_field(0, 32), 42u);
+}
+
+TEST(Flitization, SinglePairPacket) {
+  const FlitLayout layout = layout16x32();
+  const std::vector<std::uint32_t> one = {5u};
+  const auto flits = pack_half_half(one, one, 6u, layout);
+  ASSERT_EQ(flits.size(), 1u);
+  const UnpackedTask task = unpack_half_half(flits, 1, true, layout);
+  EXPECT_EQ(task.inputs[0], 5u);
+  EXPECT_EQ(task.weights[0], 5u);
+  EXPECT_EQ(*task.bias, 6u);
+}
+
+TEST(Flitization, Fixed8Layout) {
+  // 128-bit link, 16 fixed-8 slots.
+  const FlitLayout layout{16, 8};
+  EXPECT_EQ(layout.flit_bits(), 128u);
+  std::vector<std::uint32_t> inputs = {0xAA, 0xBB, 0xCC};
+  std::vector<std::uint32_t> weights = {0x11, 0x22, 0x33};
+  const auto flits = pack_half_half(inputs, weights, 0xFF, layout);
+  ASSERT_EQ(flits.size(), 1u);
+  EXPECT_EQ(flits[0].get_field(0, 8), 0xAAu);
+  EXPECT_EQ(flits[0].get_field(8 * 8, 8), 0x11u);   // right half starts slot 8
+  EXPECT_EQ(flits[0].get_field(3 * 8, 8), 0xFFu);   // bias after 3 inputs
+}
+
+TEST(Flitization, Validation) {
+  const FlitLayout layout = layout16x32();
+  const std::vector<std::uint32_t> two = {1, 2};
+  const std::vector<std::uint32_t> three = {1, 2, 3};
+  EXPECT_THROW(pack_half_half(two, three, 0u, layout), std::invalid_argument);
+  EXPECT_THROW(pack_half_half({}, {}, std::nullopt, layout),
+               std::invalid_argument);
+  const FlitLayout odd{15, 32};
+  EXPECT_THROW(pack_half_half(two, two, 0u, odd), std::invalid_argument);
+}
+
+TEST(IndexFlits, PackUnpackRoundTrip) {
+  std::vector<std::uint32_t> indices;
+  for (std::uint32_t i = 0; i < 25; ++i) indices.push_back((i * 7) % 25);
+  const auto flits = pack_index_flits(indices, 5, 128);
+  // 128 / 5 = 25 indices per flit -> exactly one flit.
+  ASSERT_EQ(flits.size(), 1u);
+  const auto recovered = unpack_index_flits(flits, 25, 5);
+  EXPECT_EQ(recovered, indices);
+}
+
+TEST(IndexFlits, MultiFlit) {
+  std::vector<std::uint32_t> indices(100);
+  std::iota(indices.begin(), indices.end(), 0u);
+  const auto flits = pack_index_flits(indices, 7, 64);  // 9 per flit
+  EXPECT_EQ(flits.size(), 12u);
+  EXPECT_EQ(unpack_index_flits(flits, 100, 7), indices);
+}
+
+TEST(IndexFlits, Validation) {
+  const std::vector<std::uint32_t> indices = {1, 2};
+  EXPECT_THROW(pack_index_flits(indices, 0, 64), std::invalid_argument);
+  EXPECT_THROW(pack_index_flits(indices, 33, 64), std::invalid_argument);
+  EXPECT_THROW(pack_index_flits(indices, 40, 32), std::invalid_argument);
+  EXPECT_THROW(unpack_index_flits({}, 2, 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nocbt::accel

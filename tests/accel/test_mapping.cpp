@@ -1,0 +1,75 @@
+// Tests for memory-controller placement (paper Fig. 6) and node roles.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "accel/mapping.h"
+
+namespace nocbt::accel {
+namespace {
+
+TEST(Mapping, Fig6PlacementFor4x4Mc2) {
+  // The paper's 4x4 example places the two MCs at R8 and R11 (west/east
+  // edges, row 2).
+  const noc::MeshShape shape(4, 4);
+  const auto mcs = memory_controller_nodes(shape, 2);
+  EXPECT_EQ(mcs, (std::vector<std::int32_t>{8, 11}));
+}
+
+TEST(Mapping, EightByEightMc4OnEdges) {
+  const noc::MeshShape shape(8, 8);
+  const auto mcs = memory_controller_nodes(shape, 4);
+  ASSERT_EQ(mcs.size(), 4u);
+  for (const auto node : mcs) {
+    const auto coord = shape.coord_of(node);
+    EXPECT_TRUE(coord.x == 0 || coord.x == 7) << "node " << node;
+  }
+  // Two per side.
+  const auto west = std::count_if(mcs.begin(), mcs.end(), [&](auto n) {
+    return shape.coord_of(n).x == 0;
+  });
+  EXPECT_EQ(west, 2);
+}
+
+TEST(Mapping, EightByEightMc8RowsSpread) {
+  const noc::MeshShape shape(8, 8);
+  const auto mcs = memory_controller_nodes(shape, 8);
+  ASSERT_EQ(mcs.size(), 8u);
+  std::vector<std::int32_t> west_rows;
+  for (const auto node : mcs)
+    if (shape.coord_of(node).x == 0) west_rows.push_back(shape.coord_of(node).y);
+  EXPECT_EQ(west_rows, (std::vector<std::int32_t>{1, 3, 5, 7}));
+}
+
+TEST(Mapping, RolesPartitionAllNodes) {
+  const noc::MeshShape shape(4, 4);
+  const NodeRoles roles = assign_roles(shape, 2);
+  EXPECT_EQ(roles.mcs.size(), 2u);
+  EXPECT_EQ(roles.pes.size(), 14u);
+  std::vector<std::int32_t> all = roles.mcs;
+  all.insert(all.end(), roles.pes.begin(), roles.pes.end());
+  std::sort(all.begin(), all.end());
+  for (std::int32_t node = 0; node < 16; ++node)
+    EXPECT_EQ(all[static_cast<std::size_t>(node)], node);
+}
+
+TEST(Mapping, SingleMc) {
+  const noc::MeshShape shape(2, 2);
+  const auto mcs = memory_controller_nodes(shape, 1);
+  ASSERT_EQ(mcs.size(), 1u);
+  EXPECT_EQ(shape.coord_of(mcs[0]).x, 0);
+}
+
+TEST(Mapping, RejectsBadCounts) {
+  const noc::MeshShape shape(4, 4);
+  EXPECT_THROW(memory_controller_nodes(shape, 0), std::invalid_argument);
+  EXPECT_THROW(memory_controller_nodes(shape, 16), std::invalid_argument);
+  // Single-column mesh: west and east edges coincide, so two MCs collide
+  // on the same node.
+  EXPECT_THROW(memory_controller_nodes(noc::MeshShape(2, 1), 2),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nocbt::accel

@@ -1,0 +1,274 @@
+// Tests for task extraction, value codecs, and ordered packet building /
+// decoding — including the order-invariance property of Fig. 5.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "accel/packet_builder.h"
+#include "accel/task.h"
+#include "common/rng.h"
+#include "dnn/conv2d.h"
+#include "dnn/linear.h"
+
+namespace nocbt::accel {
+namespace {
+
+using ordering::OrderingMode;
+
+NeuronTask make_random_task(Rng& rng, std::size_t n) {
+  NeuronTask task;
+  task.layer_index = 1;
+  task.output_index = 7;
+  task.bias = static_cast<float>(rng.uniform(-0.5, 0.5));
+  for (std::size_t i = 0; i < n; ++i) {
+    task.inputs.push_back(static_cast<float>(rng.uniform(-1.0, 1.0)));
+    task.weights.push_back(static_cast<float>(rng.uniform(-1.0, 1.0)));
+  }
+  return task;
+}
+
+LayerCodecs float_codecs() {
+  return LayerCodecs{ValueCodec::float32(), ValueCodec::float32(),
+                     ValueCodec::float32()};
+}
+
+LayerCodecs fixed_codecs(const NeuronTask& task) {
+  std::vector<float> bias = {task.bias};
+  return LayerCodecs{ValueCodec::fixed_calibrated(8, task.weights),
+                     ValueCodec::fixed_calibrated(8, task.inputs),
+                     ValueCodec::fixed_calibrated(8, bias)};
+}
+
+TEST(ValueCodec, Float32RoundTripsExactly) {
+  const ValueCodec codec = ValueCodec::float32();
+  for (float v : {0.0f, 1.5f, -3.25f, 1e-20f, -1e20f})
+    EXPECT_EQ(codec.decode(codec.encode(v)), v);
+  EXPECT_EQ(codec.bits(), 32u);
+  EXPECT_EQ(codec.format(), DataFormat::kFloat32);
+}
+
+TEST(ValueCodec, FixedQuantizesWithinHalfStep) {
+  std::vector<float> calib = {1.0f, -1.0f};
+  const ValueCodec codec = ValueCodec::fixed_calibrated(8, calib);
+  EXPECT_EQ(codec.bits(), 8u);
+  for (float v = -1.0f; v <= 1.0f; v += 0.07f) {
+    const float recovered = codec.decode(codec.encode(v));
+    EXPECT_NEAR(recovered, v, codec.scale() / 2 + 1e-6);
+  }
+}
+
+TEST(TaskExtraction, ConvCountsAndWindow) {
+  dnn::Conv2d conv(2, 3, 3, 1, 1);
+  Rng rng(1);
+  conv.init_kaiming(rng);
+  dnn::Tensor input(dnn::Shape{1, 2, 4, 4});
+  for (auto& v : input.data()) v = static_cast<float>(rng.uniform(-1, 1));
+  const auto tasks = extract_conv_tasks(conv, input, 0);
+  ASSERT_EQ(tasks.size(), 3u * 4u * 4u);
+  for (const auto& task : tasks) {
+    EXPECT_EQ(task.inputs.size(), 2u * 3u * 3u);
+    EXPECT_EQ(task.weights.size(), 2u * 3u * 3u);
+  }
+  // Task results must reproduce the layer's forward pass exactly (float
+  // accumulation tolerance).
+  dnn::Tensor expected = conv.forward(input);
+  for (const auto& task : tasks) {
+    EXPECT_NEAR(task_reference_result(task),
+                expected.data()[static_cast<std::size_t>(task.output_index)],
+                1e-4)
+        << "task " << task.output_index;
+  }
+}
+
+TEST(TaskExtraction, ConvPaddingGivesZeroInputs) {
+  dnn::Conv2d conv(1, 1, 3, 1, 1);
+  conv.weight().fill(1.0f);
+  dnn::Tensor input = dnn::Tensor::full(dnn::Shape{1, 1, 3, 3}, 1.0f);
+  const auto tasks = extract_conv_tasks(conv, input, 0);
+  // Corner neuron (0,0): 4 in-bounds values, 5 padded zeros.
+  int zeros = 0;
+  for (float v : tasks[0].inputs) zeros += v == 0.0f;
+  EXPECT_EQ(zeros, 5);
+}
+
+TEST(TaskExtraction, LinearMatchesForward) {
+  dnn::Linear fc(6, 4);
+  Rng rng(2);
+  fc.init_kaiming(rng);
+  dnn::Tensor input(dnn::Shape{1, 6, 1, 1});
+  for (auto& v : input.data()) v = static_cast<float>(rng.uniform(-1, 1));
+  const auto tasks = extract_linear_tasks(fc, input, 3);
+  ASSERT_EQ(tasks.size(), 4u);
+  dnn::Tensor expected = fc.forward(input);
+  for (const auto& task : tasks) {
+    EXPECT_EQ(task.layer_index, 3);
+    EXPECT_NEAR(task_reference_result(task),
+                expected.data()[static_cast<std::size_t>(task.output_index)],
+                1e-5);
+  }
+}
+
+TEST(TaskExtraction, RejectsBatchedInput) {
+  dnn::Conv2d conv(1, 1, 3);
+  dnn::Tensor batched(dnn::Shape{2, 1, 8, 8});
+  EXPECT_THROW(extract_conv_tasks(conv, batched, 0), std::invalid_argument);
+  dnn::Linear fc(4, 2);
+  dnn::Tensor batched_fc(dnn::Shape{2, 4, 1, 1});
+  EXPECT_THROW(extract_linear_tasks(fc, batched_fc, 0),
+               std::invalid_argument);
+}
+
+class PacketBuilderModes
+    : public ::testing::TestWithParam<OrderingMode> {};
+
+TEST_P(PacketBuilderModes, Float32ComputeMatchesReference) {
+  Rng rng(10);
+  const FlitLayout layout{16, 32};
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto task = make_random_task(rng, 1 + static_cast<std::size_t>(
+                                                    rng.uniform_int(0, 40)));
+    const LayerCodecs codecs = float_codecs();
+    const BuiltPacket packet =
+        build_task_packet(task, codecs, GetParam(), layout);
+    std::vector<std::uint32_t> pair_index;
+    const UnpackedTask decoded =
+        decode_task_packet(packet.payloads, packet.meta, layout, &pair_index);
+    const double computed =
+        compute_task_output(decoded, pair_index, codecs, GetParam());
+    EXPECT_NEAR(computed, task_reference_result(task), 1e-5);
+  }
+}
+
+TEST_P(PacketBuilderModes, Fixed8ComputeIsOrderInvariantExactly) {
+  Rng rng(11);
+  const FlitLayout layout{16, 8};
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto task = make_random_task(rng, 1 + static_cast<std::size_t>(
+                                                    rng.uniform_int(0, 60)));
+    const LayerCodecs codecs = fixed_codecs(task);
+
+    // Baseline result (O0) is the reference the ordered variants must hit
+    // bit-exactly thanks to the int64 MAC.
+    const BuiltPacket base = build_task_packet(task, codecs,
+                                               OrderingMode::kBaseline, layout);
+    std::vector<std::uint32_t> no_index;
+    const double reference = compute_task_output(
+        decode_task_packet(base.payloads, base.meta, layout, &no_index),
+        no_index, codecs, OrderingMode::kBaseline);
+
+    const BuiltPacket packet =
+        build_task_packet(task, codecs, GetParam(), layout);
+    std::vector<std::uint32_t> pair_index;
+    const UnpackedTask decoded =
+        decode_task_packet(packet.payloads, packet.meta, layout, &pair_index);
+    const double computed =
+        compute_task_output(decoded, pair_index, codecs, GetParam());
+    EXPECT_EQ(computed, reference) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, PacketBuilderModes,
+                         ::testing::Values(OrderingMode::kBaseline,
+                                           OrderingMode::kAffiliated,
+                                           OrderingMode::kSeparated),
+                         [](const ::testing::TestParamInfo<OrderingMode>& info) {
+                           return std::string(
+                                      ordering::to_string(info.param))
+                               .substr(0, 2);
+                         });
+
+TEST(PacketBuilder, AffiliatedSortsWeightsDescendingKeepingPairs) {
+  Rng rng(12);
+  const FlitLayout layout{16, 8};
+  const auto task = make_random_task(rng, 25);
+  const LayerCodecs codecs = fixed_codecs(task);
+  const BuiltPacket packet = build_task_packet(
+      task, codecs, OrderingMode::kAffiliated, layout);
+  std::vector<std::uint32_t> unused;
+  const UnpackedTask decoded =
+      decode_task_packet(packet.payloads, packet.meta, layout, &unused);
+
+  // Weights non-increasing in popcount.
+  for (std::size_t i = 1; i < decoded.weights.size(); ++i)
+    EXPECT_GE(popcount8(static_cast<std::uint8_t>(decoded.weights[i - 1])),
+              popcount8(static_cast<std::uint8_t>(decoded.weights[i])));
+
+  // Pairing preserved: the multiset of (weight, input) couples matches.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> original;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> transmitted;
+  for (std::size_t i = 0; i < task.weights.size(); ++i) {
+    original.emplace_back(codecs.weights.encode(task.weights[i]),
+                          codecs.inputs.encode(task.inputs[i]));
+    transmitted.emplace_back(decoded.weights[i], decoded.inputs[i]);
+  }
+  std::sort(original.begin(), original.end());
+  std::sort(transmitted.begin(), transmitted.end());
+  EXPECT_EQ(original, transmitted);
+}
+
+TEST(PacketBuilder, SeparatedSortsBothStreams) {
+  Rng rng(13);
+  const FlitLayout layout{16, 8};
+  const auto task = make_random_task(rng, 30);
+  const LayerCodecs codecs = fixed_codecs(task);
+  const BuiltPacket packet = build_task_packet(
+      task, codecs, OrderingMode::kSeparated, layout);
+  std::vector<std::uint32_t> pair_index;
+  const UnpackedTask decoded =
+      decode_task_packet(packet.payloads, packet.meta, layout, &pair_index);
+  for (std::size_t i = 1; i < decoded.weights.size(); ++i) {
+    EXPECT_GE(popcount8(static_cast<std::uint8_t>(decoded.weights[i - 1])),
+              popcount8(static_cast<std::uint8_t>(decoded.weights[i])));
+    EXPECT_GE(popcount8(static_cast<std::uint8_t>(decoded.inputs[i - 1])),
+              popcount8(static_cast<std::uint8_t>(decoded.inputs[i])));
+  }
+  EXPECT_TRUE(ordering::is_permutation(pair_index, 30));
+}
+
+TEST(PacketBuilder, EmbeddedIndexAddsFlitsAndRoundTrips) {
+  Rng rng(14);
+  const FlitLayout layout{16, 8};
+  const auto task = make_random_task(rng, 25);
+  const LayerCodecs codecs = fixed_codecs(task);
+  const BuiltPacket sideband = build_task_packet(
+      task, codecs, OrderingMode::kSeparated, layout, false);
+  const BuiltPacket embedded = build_task_packet(
+      task, codecs, OrderingMode::kSeparated, layout, true);
+  EXPECT_GT(embedded.payloads.size(), sideband.payloads.size());
+  EXPECT_EQ(embedded.meta.index_flits,
+            embedded.payloads.size() - sideband.payloads.size());
+
+  std::vector<std::uint32_t> pair_index;
+  const UnpackedTask decoded = decode_task_packet(
+      embedded.payloads, embedded.meta, layout, &pair_index);
+  const double computed = compute_task_output(decoded, pair_index, codecs,
+                                              OrderingMode::kSeparated);
+  // Must still match the baseline exactly.
+  const BuiltPacket base = build_task_packet(task, codecs,
+                                             OrderingMode::kBaseline, layout);
+  std::vector<std::uint32_t> none;
+  const double reference = compute_task_output(
+      decode_task_packet(base.payloads, base.meta, layout, &none), none,
+      codecs, OrderingMode::kBaseline);
+  EXPECT_EQ(computed, reference);
+}
+
+TEST(PacketBuilder, BaselineKeepsNaturalOrder) {
+  Rng rng(15);
+  const FlitLayout layout{16, 8};
+  const auto task = make_random_task(rng, 10);
+  const LayerCodecs codecs = fixed_codecs(task);
+  const BuiltPacket packet = build_task_packet(
+      task, codecs, OrderingMode::kBaseline, layout);
+  std::vector<std::uint32_t> unused;
+  const UnpackedTask decoded =
+      decode_task_packet(packet.payloads, packet.meta, layout, &unused);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(decoded.weights[i], codecs.weights.encode(task.weights[i]));
+    EXPECT_EQ(decoded.inputs[i], codecs.inputs.encode(task.inputs[i]));
+  }
+}
+
+}  // namespace
+}  // namespace nocbt::accel

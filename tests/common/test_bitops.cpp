@@ -1,0 +1,91 @@
+// Unit tests for low-level bit helpers: popcount family, transition
+// counting, masks, and the SWAR reference popcount that models the ordering
+// unit's hardware pop-count stage.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+
+#include "common/bitops.h"
+
+namespace nocbt {
+namespace {
+
+TEST(Bitops, Popcount8Basics) {
+  EXPECT_EQ(popcount8(0x00), 0);
+  EXPECT_EQ(popcount8(0xFF), 8);
+  EXPECT_EQ(popcount8(0x01), 1);
+  EXPECT_EQ(popcount8(0x80), 1);
+  EXPECT_EQ(popcount8(0xAA), 4);
+  EXPECT_EQ(popcount8(0x55), 4);
+}
+
+TEST(Bitops, Popcount32Basics) {
+  EXPECT_EQ(popcount32(0u), 0);
+  EXPECT_EQ(popcount32(~0u), 32);
+  EXPECT_EQ(popcount32(0x80000000u), 1);
+  EXPECT_EQ(popcount32(0x0F0F0F0Fu), 16);
+}
+
+TEST(Bitops, Popcount64Basics) {
+  EXPECT_EQ(popcount64(0ull), 0);
+  EXPECT_EQ(popcount64(~0ull), 64);
+  EXPECT_EQ(popcount64(0x8000000000000001ull), 2);
+}
+
+TEST(Bitops, TransitionsIsPopcountOfXor) {
+  EXPECT_EQ(transitions(0ull, 0ull), 0);
+  EXPECT_EQ(transitions(0ull, ~0ull), 64);
+  EXPECT_EQ(transitions(0xF0ull, 0x0Full), 8);
+  EXPECT_EQ(transitions(0xFFull, 0xFFull), 0);
+}
+
+TEST(Bitops, TransitionsOverSpansSumsWordwise) {
+  const std::uint64_t a[] = {0x0ull, 0xFFull};
+  const std::uint64_t b[] = {0xFull, 0x0Full};
+  EXPECT_EQ(transitions(std::span<const std::uint64_t>(a),
+                        std::span<const std::uint64_t>(b)),
+            4 + 4);
+}
+
+TEST(Bitops, TransitionsIsSymmetric) {
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t a = rng();
+    const std::uint64_t b = rng();
+    EXPECT_EQ(transitions(a, b), transitions(b, a));
+  }
+}
+
+TEST(Bitops, LowMaskEdges) {
+  EXPECT_EQ(low_mask(0), 0ull);
+  EXPECT_EQ(low_mask(1), 1ull);
+  EXPECT_EQ(low_mask(8), 0xFFull);
+  EXPECT_EQ(low_mask(63), 0x7FFFFFFFFFFFFFFFull);
+  EXPECT_EQ(low_mask(64), ~0ull);
+}
+
+TEST(Bitops, SwarPopcountMatchesStdPopcount) {
+  std::mt19937 rng(42);
+  for (int i = 0; i < 10'000; ++i) {
+    const std::uint32_t v = rng();
+    EXPECT_EQ(swar_popcount32(v), popcount32(v)) << "v=" << v;
+  }
+  EXPECT_EQ(swar_popcount32(0u), 0);
+  EXPECT_EQ(swar_popcount32(~0u), 32);
+}
+
+TEST(Bitops, IndexBits) {
+  EXPECT_EQ(index_bits(1), 1u);
+  EXPECT_EQ(index_bits(2), 1u);
+  EXPECT_EQ(index_bits(3), 2u);
+  EXPECT_EQ(index_bits(4), 2u);
+  EXPECT_EQ(index_bits(5), 3u);
+  EXPECT_EQ(index_bits(16), 4u);
+  EXPECT_EQ(index_bits(17), 5u);
+  EXPECT_EQ(index_bits(1024), 10u);
+}
+
+}  // namespace
+}  // namespace nocbt

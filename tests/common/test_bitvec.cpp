@@ -1,0 +1,130 @@
+// Unit tests for BitVec, the flit payload container: bit/field access across
+// word boundaries, popcount, and transition counting.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "common/bitvec.h"
+
+namespace nocbt {
+namespace {
+
+TEST(BitVec, StartsAllZero) {
+  BitVec v(128);
+  EXPECT_EQ(v.width(), 128u);
+  EXPECT_EQ(v.word_count(), 2u);
+  EXPECT_EQ(v.popcount(), 0);
+  for (unsigned i = 0; i < 128; ++i) EXPECT_FALSE(v.get_bit(i));
+}
+
+TEST(BitVec, SetAndGetSingleBits) {
+  BitVec v(100);
+  v.set_bit(0, true);
+  v.set_bit(63, true);
+  v.set_bit(64, true);
+  v.set_bit(99, true);
+  EXPECT_TRUE(v.get_bit(0));
+  EXPECT_TRUE(v.get_bit(63));
+  EXPECT_TRUE(v.get_bit(64));
+  EXPECT_TRUE(v.get_bit(99));
+  EXPECT_EQ(v.popcount(), 4);
+  v.set_bit(63, false);
+  EXPECT_FALSE(v.get_bit(63));
+  EXPECT_EQ(v.popcount(), 3);
+}
+
+TEST(BitVec, FieldRoundTripWithinWord) {
+  BitVec v(64);
+  v.set_field(4, 8, 0xAB);
+  EXPECT_EQ(v.get_field(4, 8), 0xABu);
+  EXPECT_EQ(v.get_field(0, 4), 0u);
+  EXPECT_EQ(v.get_field(12, 8), 0u);
+}
+
+TEST(BitVec, FieldRoundTripAcrossWordBoundary) {
+  BitVec v(128);
+  v.set_field(60, 8, 0xC3);  // spans words 0 and 1
+  EXPECT_EQ(v.get_field(60, 8), 0xC3u);
+  EXPECT_EQ(v.get_field(60, 4), 0x3u);
+  EXPECT_EQ(v.get_field(64, 4), 0xCu);
+}
+
+TEST(BitVec, Field64BitAcrossBoundary) {
+  BitVec v(256);
+  const std::uint64_t pattern = 0x0123456789ABCDEFull;
+  v.set_field(100, 64, pattern);
+  EXPECT_EQ(v.get_field(100, 64), pattern);
+}
+
+TEST(BitVec, SetFieldOverwritesOnlyTargetBits) {
+  BitVec v(64);
+  v.set_field(0, 16, 0xFFFF);
+  v.set_field(4, 8, 0x00);
+  EXPECT_EQ(v.get_field(0, 4), 0xFu);
+  EXPECT_EQ(v.get_field(4, 8), 0x0u);
+  EXPECT_EQ(v.get_field(12, 4), 0xFu);
+}
+
+TEST(BitVec, SetFieldIgnoresHighBitsOfValue) {
+  BitVec v(32);
+  v.set_field(0, 4, 0xFF);
+  EXPECT_EQ(v.get_field(0, 4), 0xFu);
+  EXPECT_EQ(v.get_field(4, 4), 0u);
+}
+
+TEST(BitVec, TransitionsToCountsDifferingBits) {
+  BitVec a(512);
+  BitVec b(512);
+  EXPECT_EQ(a.transitions_to(b), 0);
+  a.set_field(0, 32, 0xFFFFFFFF);
+  EXPECT_EQ(a.transitions_to(b), 32);
+  b.set_field(16, 32, 0xFFFFFFFF);
+  // a has bits 0..31, b has bits 16..47; symmetric difference is 32 bits.
+  EXPECT_EQ(a.transitions_to(b), 32);
+  EXPECT_EQ(b.transitions_to(a), 32);
+}
+
+TEST(BitVec, EqualityComparesWidthAndContents) {
+  BitVec a(64);
+  BitVec b(64);
+  BitVec c(65);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  a.set_bit(5, true);
+  EXPECT_FALSE(a == b);
+  b.set_bit(5, true);
+  EXPECT_EQ(a, b);
+}
+
+TEST(BitVec, ClearZeroesEverything) {
+  BitVec v(200);
+  for (unsigned i = 0; i < 200; i += 3) v.set_bit(i, true);
+  EXPECT_GT(v.popcount(), 0);
+  v.clear();
+  EXPECT_EQ(v.popcount(), 0);
+  EXPECT_EQ(v.width(), 200u);
+}
+
+TEST(BitVec, ToStringMsbFirst) {
+  BitVec v(8);
+  v.set_bit(0, true);  // LSB
+  v.set_bit(7, true);  // MSB
+  EXPECT_EQ(v.to_string(), "10000001");
+}
+
+TEST(BitVec, RandomFieldRoundTripProperty) {
+  std::mt19937_64 rng(99);
+  BitVec v(512);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const unsigned bits = 1 + static_cast<unsigned>(rng() % 64);
+    const unsigned pos = static_cast<unsigned>(rng() % (512 - bits));
+    const std::uint64_t value = rng() & low_mask(bits);
+    v.set_field(pos, bits, value);
+    ASSERT_EQ(v.get_field(pos, bits), value)
+        << "pos=" << pos << " bits=" << bits;
+  }
+}
+
+}  // namespace
+}  // namespace nocbt

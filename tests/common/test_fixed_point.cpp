@@ -1,0 +1,118 @@
+// Unit tests for the Q-format fixed-point codec used for "fixed-8" traffic.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/bitops.h"
+#include "common/fixed_point.h"
+
+namespace nocbt {
+namespace {
+
+TEST(FixedPoint, ConstructorValidatesArguments) {
+  EXPECT_THROW(FixedPointCodec(1, 1.0), std::invalid_argument);
+  EXPECT_THROW(FixedPointCodec(17, 1.0), std::invalid_argument);
+  EXPECT_THROW(FixedPointCodec(8, 0.0), std::invalid_argument);
+  EXPECT_THROW(FixedPointCodec(8, -1.0), std::invalid_argument);
+  EXPECT_NO_THROW(FixedPointCodec(8, 0.01));
+}
+
+TEST(FixedPoint, EightBitRangeIsSymmetric) {
+  FixedPointCodec codec(8, 1.0);
+  EXPECT_EQ(codec.max_code(), 127);
+  EXPECT_EQ(codec.min_code(), -127);
+}
+
+TEST(FixedPoint, QuantizeRoundsToNearest) {
+  FixedPointCodec codec(8, 1.0);
+  EXPECT_EQ(codec.quantize(0.0), 0);
+  EXPECT_EQ(codec.quantize(1.4), 1);
+  EXPECT_EQ(codec.quantize(1.6), 2);
+  EXPECT_EQ(codec.quantize(-1.4), -1);
+  EXPECT_EQ(codec.quantize(-1.6), -2);
+}
+
+TEST(FixedPoint, QuantizeSaturates) {
+  FixedPointCodec codec(8, 1.0);
+  EXPECT_EQ(codec.quantize(1000.0), 127);
+  EXPECT_EQ(codec.quantize(-1000.0), -127);
+}
+
+TEST(FixedPoint, PatternIsTwosComplement) {
+  FixedPointCodec codec(8, 1.0);
+  EXPECT_EQ(codec.to_pattern(0), 0x00u);
+  EXPECT_EQ(codec.to_pattern(1), 0x01u);
+  EXPECT_EQ(codec.to_pattern(-1), 0xFFu);
+  EXPECT_EQ(codec.to_pattern(127), 0x7Fu);
+  EXPECT_EQ(codec.to_pattern(-127), 0x81u);
+}
+
+TEST(FixedPoint, PatternRoundTrip) {
+  FixedPointCodec codec(8, 0.5);
+  for (std::int32_t code = -127; code <= 127; ++code) {
+    EXPECT_EQ(codec.from_pattern(codec.to_pattern(code)), code);
+  }
+}
+
+TEST(FixedPoint, DequantizeScales) {
+  FixedPointCodec codec(8, 0.25);
+  EXPECT_DOUBLE_EQ(codec.dequantize(4), 1.0);
+  EXPECT_DOUBLE_EQ(codec.dequantize(-4), -1.0);
+}
+
+TEST(FixedPoint, QuantizeDequantizeErrorBoundedByHalfScale) {
+  FixedPointCodec codec(8, 0.01);
+  for (double v = -1.2; v <= 1.2; v += 0.013) {
+    const double recovered = codec.dequantize(codec.quantize(v));
+    if (std::fabs(v) <= 127 * 0.01) {
+      EXPECT_LE(std::fabs(recovered - v), 0.005 + 1e-12) << "v=" << v;
+    }
+  }
+}
+
+TEST(FixedPoint, CalibrateMapsMaxAbsToMaxCode) {
+  std::vector<float> values = {0.1f, -0.8f, 0.4f};
+  const auto codec = FixedPointCodec::calibrate(8, values);
+  EXPECT_EQ(codec.quantize(-0.8), -127);
+  EXPECT_EQ(codec.quantize(0.8), 127);
+}
+
+TEST(FixedPoint, CalibrateAllZerosFallsBackToUnitScale) {
+  std::vector<float> values = {0.0f, 0.0f};
+  const auto codec = FixedPointCodec::calibrate(8, values);
+  EXPECT_DOUBLE_EQ(codec.scale(), 1.0);
+}
+
+TEST(FixedPoint, NegativeSmallValuesHaveManyOnes) {
+  // Two's complement: -1 is 0xFF (8 ones) while +1 is 0x01 (1 one). This
+  // asymmetry is what makes popcount ordering so effective on trained,
+  // zero-centered weights (paper Table I, fixed-8 trained: 55.71%).
+  FixedPointCodec codec(8, 1.0);
+  EXPECT_EQ(popcount8(static_cast<std::uint8_t>(codec.to_pattern(-1))), 8);
+  EXPECT_EQ(popcount8(static_cast<std::uint8_t>(codec.to_pattern(1))), 1);
+  EXPECT_EQ(popcount8(static_cast<std::uint8_t>(codec.to_pattern(-2))), 7);
+}
+
+TEST(FixedPoint, QuantizeAllProducesOnePatternPerValue) {
+  FixedPointCodec codec(8, 1.0);
+  std::vector<float> values = {0.0f, 1.0f, -1.0f, 127.0f};
+  const auto patterns = quantize_all(codec, values);
+  ASSERT_EQ(patterns.size(), 4u);
+  EXPECT_EQ(patterns[0], 0x00u);
+  EXPECT_EQ(patterns[1], 0x01u);
+  EXPECT_EQ(patterns[2], 0xFFu);
+  EXPECT_EQ(patterns[3], 0x7Fu);
+}
+
+TEST(FixedPoint, FourBitCodec) {
+  FixedPointCodec codec(4, 1.0);
+  EXPECT_EQ(codec.max_code(), 7);
+  EXPECT_EQ(codec.to_pattern(-1), 0xFu);
+  EXPECT_EQ(codec.from_pattern(0xFu), -1);
+  EXPECT_EQ(codec.quantize(100.0), 7);
+}
+
+}  // namespace
+}  // namespace nocbt

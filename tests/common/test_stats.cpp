@@ -1,0 +1,119 @@
+// Unit tests for RunningStat and Histogram.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "common/stats.h"
+
+namespace nocbt {
+namespace {
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(RunningStat, SingleValue) {
+  RunningStat s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStat, KnownMoments) {
+  RunningStat s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic textbook example
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, MergeMatchesCombinedStream) {
+  std::mt19937 rng(3);
+  std::uniform_real_distribution<double> dist(-10.0, 10.0);
+  RunningStat all;
+  RunningStat a;
+  RunningStat b;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = dist(rng);
+    all.add(v);
+    (i % 3 == 0 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_NEAR(a.min(), all.min(), 0.0);
+  EXPECT_NEAR(a.max(), all.max(), 0.0);
+}
+
+TEST(RunningStat, MergeWithEmpty) {
+  RunningStat a;
+  a.add(1.0);
+  a.add(3.0);
+  RunningStat empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+
+  RunningStat c;
+  c.merge(a);
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_DOUBLE_EQ(c.mean(), 2.0);
+}
+
+TEST(Histogram, BinsAndTotal) {
+  Histogram h(10);
+  h.add(0);
+  h.add(5);
+  h.add(5);
+  h.add(9);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bin(0), 1u);
+  EXPECT_EQ(h.bin(5), 2u);
+  EXPECT_EQ(h.bin(9), 1u);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  Histogram h(4);
+  h.add(-100);
+  h.add(100);
+  EXPECT_EQ(h.bin(0), 1u);
+  EXPECT_EQ(h.bin(3), 1u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(Histogram, MeanOfBins) {
+  Histogram h(10);
+  h.add(2);
+  h.add(4);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+}
+
+TEST(Histogram, Quantile) {
+  Histogram h(100);
+  for (int i = 0; i < 100; ++i) h.add(i);
+  EXPECT_EQ(h.quantile(0.5), 49u);
+  EXPECT_EQ(h.quantile(0.99), 98u);
+  EXPECT_EQ(h.quantile(1.0), 99u);
+}
+
+TEST(Histogram, EmptyQuantileIsZero) {
+  Histogram h(4);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace nocbt

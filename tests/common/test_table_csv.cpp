@@ -1,0 +1,98 @@
+// Unit tests for the ASCII table renderer, number formatting, CSV writer,
+// and the key=value Options parser.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/config.h"
+#include "common/csv.h"
+#include "common/table.h"
+
+namespace nocbt {
+namespace {
+
+TEST(AsciiTable, RendersHeaderAndRows) {
+  AsciiTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"bb", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(AsciiTable, PadsColumnsToWidestCell) {
+  AsciiTable t({"h"});
+  t.add_row({"longervalue"});
+  const std::string out = t.render();
+  // Header row must be padded to the width of "longervalue".
+  EXPECT_NE(out.find("| h           |"), std::string::npos);
+}
+
+TEST(Formatting, FormatDouble) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(1.0, 0), "1");
+  EXPECT_EQ(format_double(-2.5, 1), "-2.5");
+}
+
+TEST(Formatting, FormatPercent) {
+  EXPECT_EQ(format_percent(0.2038), "20.38%");
+  EXPECT_EQ(format_percent(0.5571), "55.71%");
+  EXPECT_EQ(format_percent(1.0, 0), "100%");
+}
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  const std::string path = "/tmp/nocbt_test_csv.csv";
+  {
+    CsvWriter csv(path, {"a", "b"});
+    csv.add_row({"1", "2"});
+    csv.add_row({"x,y", "quote\"inside"});
+    EXPECT_EQ(csv.rows_written(), 2u);
+  }
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string content = ss.str();
+  EXPECT_NE(content.find("a,b\n"), std::string::npos);
+  EXPECT_NE(content.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(content.find("\"quote\"\"inside\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, ThrowsOnBadPath) {
+  EXPECT_THROW(CsvWriter("/nonexistent_dir_zzz/file.csv", {"a"}),
+               std::runtime_error);
+}
+
+TEST(Options, ParsesKeyValuePairs) {
+  const char* argv[] = {"prog", "rows=8", "ordering=O2", "verbose=true"};
+  const auto opts = Options::parse(4, const_cast<char**>(argv));
+  EXPECT_EQ(opts.get_int("rows", 0), 8);
+  EXPECT_EQ(opts.get_string("ordering", ""), "O2");
+  EXPECT_TRUE(opts.get_bool("verbose", false));
+  EXPECT_EQ(opts.get_int("missing", 42), 42);
+}
+
+TEST(Options, RejectsMalformedArguments) {
+  const char* argv1[] = {"prog", "noequals"};
+  EXPECT_THROW(Options::parse(2, const_cast<char**>(argv1)),
+               std::invalid_argument);
+  const char* argv2[] = {"prog", "=value"};
+  EXPECT_THROW(Options::parse(2, const_cast<char**>(argv2)),
+               std::invalid_argument);
+}
+
+TEST(Options, TypedGettersValidate) {
+  const char* argv[] = {"prog", "n=abc", "f=1.5", "b=yes"};
+  const auto opts = Options::parse(4, const_cast<char**>(argv));
+  EXPECT_THROW((void)opts.get_int("n", 0), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(opts.get_double("f", 0.0), 1.5);
+  EXPECT_TRUE(opts.get_bool("b", false));
+}
+
+}  // namespace
+}  // namespace nocbt

@@ -1,0 +1,225 @@
+// Forward-pass correctness for every layer type, verified against
+// hand-computed references, plus shape inference.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dnn/activation.h"
+#include "dnn/conv2d.h"
+#include "dnn/linear.h"
+#include "dnn/models.h"
+#include "dnn/pooling.h"
+#include "dnn/sequential.h"
+
+namespace nocbt::dnn {
+namespace {
+
+TEST(Conv2d, IdentityKernel) {
+  // 1x1 kernel with weight 1 must copy the input.
+  Conv2d conv(1, 1, 1);
+  conv.weight().at(0, 0, 0, 0) = 1.0f;
+  Tensor in = Tensor::from_vector(Shape{1, 1, 2, 2}, {1, 2, 3, 4});
+  Tensor out = conv.forward(in);
+  for (int i = 0; i < 4; ++i)
+    EXPECT_EQ(out.data()[static_cast<std::size_t>(i)], in.data()[static_cast<std::size_t>(i)]);
+}
+
+TEST(Conv2d, HandComputed3x3) {
+  // 3x3 input, 2x2 all-ones kernel, bias 1: each output = window sum + 1.
+  Conv2d conv(1, 1, 2);
+  conv.weight().fill(1.0f);
+  conv.bias().fill(1.0f);
+  Tensor in = Tensor::from_vector(Shape{1, 1, 3, 3},
+                                  {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  Tensor out = conv.forward(in);
+  ASSERT_EQ(out.shape(), (Shape{1, 1, 2, 2}));
+  EXPECT_EQ(out.at(0, 0, 0, 0), 1 + 2 + 4 + 5 + 1);
+  EXPECT_EQ(out.at(0, 0, 0, 1), 2 + 3 + 5 + 6 + 1);
+  EXPECT_EQ(out.at(0, 0, 1, 0), 4 + 5 + 7 + 8 + 1);
+  EXPECT_EQ(out.at(0, 0, 1, 1), 5 + 6 + 8 + 9 + 1);
+}
+
+TEST(Conv2d, PaddingProducesSameSize) {
+  Conv2d conv(1, 1, 3, 1, 1);
+  conv.weight().fill(0.0f);
+  conv.weight().at(0, 0, 1, 1) = 1.0f;  // center tap: identity with pad
+  Tensor in = Tensor::from_vector(Shape{1, 1, 2, 2}, {1, 2, 3, 4});
+  Tensor out = conv.forward(in);
+  ASSERT_EQ(out.shape(), in.shape());
+  for (int i = 0; i < 4; ++i)
+    EXPECT_EQ(out.data()[static_cast<std::size_t>(i)], in.data()[static_cast<std::size_t>(i)]);
+}
+
+TEST(Conv2d, StrideTwo) {
+  Conv2d conv(1, 1, 1, 2, 0);
+  conv.weight().at(0, 0, 0, 0) = 2.0f;
+  Tensor in = Tensor::from_vector(Shape{1, 1, 4, 4},
+                                  {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12,
+                                   13, 14, 15});
+  Tensor out = conv.forward(in);
+  ASSERT_EQ(out.shape(), (Shape{1, 1, 2, 2}));
+  EXPECT_EQ(out.at(0, 0, 0, 0), 0.0f);
+  EXPECT_EQ(out.at(0, 0, 0, 1), 4.0f);
+  EXPECT_EQ(out.at(0, 0, 1, 0), 16.0f);
+  EXPECT_EQ(out.at(0, 0, 1, 1), 20.0f);
+}
+
+TEST(Conv2d, MultiChannelAccumulates) {
+  Conv2d conv(2, 1, 1);
+  conv.weight().at(0, 0, 0, 0) = 1.0f;
+  conv.weight().at(0, 1, 0, 0) = 10.0f;
+  Tensor in(Shape{1, 2, 1, 1});
+  in.at(0, 0, 0, 0) = 3.0f;
+  in.at(0, 1, 0, 0) = 4.0f;
+  Tensor out = conv.forward(in);
+  EXPECT_EQ(out.at(0, 0, 0, 0), 3.0f + 40.0f);
+}
+
+TEST(Conv2d, RejectsBadGeometry) {
+  EXPECT_THROW(Conv2d(0, 1, 3), std::invalid_argument);
+  EXPECT_THROW(Conv2d(1, 1, 0), std::invalid_argument);
+  Conv2d conv(2, 1, 3);
+  Tensor wrong(Shape{1, 3, 8, 8});
+  EXPECT_THROW(conv.forward(wrong), std::invalid_argument);
+}
+
+TEST(Linear, HandComputed) {
+  Linear fc(3, 2);
+  // W = [[1,2,3],[4,5,6]], b = [0.5, -1].
+  for (int i = 0; i < 3; ++i) {
+    fc.weight().at(0, i, 0, 0) = static_cast<float>(i + 1);
+    fc.weight().at(1, i, 0, 0) = static_cast<float>(i + 4);
+  }
+  fc.bias().at(0, 0, 0, 0) = 0.5f;
+  fc.bias().at(1, 0, 0, 0) = -1.0f;
+  Tensor in = Tensor::from_vector(Shape{1, 3, 1, 1}, {1, 1, 2});
+  Tensor out = fc.forward(in);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0, 0), 1 + 2 + 6 + 0.5f);
+  EXPECT_FLOAT_EQ(out.at(0, 1, 0, 0), 4 + 5 + 12 - 1.0f);
+}
+
+TEST(Linear, AcceptsSpatialInput) {
+  // {1, 2, 2, 2} flattens to 8 features.
+  Linear fc(8, 1);
+  fc.weight().fill(1.0f);
+  Tensor in = Tensor::full(Shape{1, 2, 2, 2}, 1.0f);
+  Tensor out = fc.forward(in);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0, 0), 8.0f);
+}
+
+TEST(MaxPool, PicksWindowMax) {
+  MaxPool2d pool(2);
+  Tensor in = Tensor::from_vector(Shape{1, 1, 4, 4},
+                                  {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13,
+                                   14, 15, 16});
+  Tensor out = pool.forward(in);
+  ASSERT_EQ(out.shape(), (Shape{1, 1, 2, 2}));
+  EXPECT_EQ(out.at(0, 0, 0, 0), 6.0f);
+  EXPECT_EQ(out.at(0, 0, 0, 1), 8.0f);
+  EXPECT_EQ(out.at(0, 0, 1, 0), 14.0f);
+  EXPECT_EQ(out.at(0, 0, 1, 1), 16.0f);
+}
+
+TEST(AvgPool, AveragesWindow) {
+  AvgPool2d pool(2);
+  Tensor in = Tensor::from_vector(Shape{1, 1, 2, 4}, {1, 2, 3, 4, 5, 6, 7, 8});
+  Tensor out = pool.forward(in);
+  ASSERT_EQ(out.shape(), (Shape{1, 1, 1, 2}));
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0, 0), (1 + 2 + 5 + 6) / 4.0f);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0, 1), (3 + 4 + 7 + 8) / 4.0f);
+}
+
+TEST(GlobalAvgPool, AveragesEverything) {
+  GlobalAvgPool pool;
+  Tensor in = Tensor::from_vector(Shape{1, 2, 1, 2}, {1, 3, 10, 20});
+  Tensor out = pool.forward(in);
+  ASSERT_EQ(out.shape(), (Shape{1, 2, 1, 1}));
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(out.at(0, 1, 0, 0), 15.0f);
+}
+
+TEST(Activations, Relu) {
+  Relu relu;
+  Tensor in = Tensor::from_vector(Shape{1, 1, 1, 4}, {-2, -0.5f, 0, 3});
+  Tensor out = relu.forward(in);
+  EXPECT_EQ(out.data()[0], 0.0f);
+  EXPECT_EQ(out.data()[1], 0.0f);
+  EXPECT_EQ(out.data()[2], 0.0f);
+  EXPECT_EQ(out.data()[3], 3.0f);
+}
+
+TEST(Activations, LeakyRelu) {
+  LeakyRelu leaky(0.1f);
+  Tensor in = Tensor::from_vector(Shape{1, 1, 1, 2}, {-2, 4});
+  Tensor out = leaky.forward(in);
+  EXPECT_FLOAT_EQ(out.data()[0], -0.2f);
+  EXPECT_FLOAT_EQ(out.data()[1], 4.0f);
+}
+
+TEST(Activations, TanhValues) {
+  Tanh tanh_layer;
+  Tensor in = Tensor::from_vector(Shape{1, 1, 1, 3}, {-1, 0, 1});
+  Tensor out = tanh_layer.forward(in);
+  EXPECT_NEAR(out.data()[0], std::tanh(-1.0f), 1e-6);
+  EXPECT_EQ(out.data()[1], 0.0f);
+  EXPECT_NEAR(out.data()[2], std::tanh(1.0f), 1e-6);
+}
+
+TEST(Flatten, ReshapesAndRestores) {
+  Flatten flat;
+  Tensor in = Tensor::full(Shape{2, 3, 4, 5}, 1.0f);
+  Tensor out = flat.forward(in);
+  EXPECT_EQ(out.shape(), (Shape{2, 60, 1, 1}));
+  Tensor back = flat.backward(out);
+  EXPECT_EQ(back.shape(), in.shape());
+}
+
+TEST(Sequential, ShapeInferenceMatchesForward) {
+  Rng rng(1);
+  Sequential lenet = build_lenet(rng);
+  const Shape in_shape = lenet_spec().input;
+  EXPECT_EQ(lenet.output_shape(in_shape), (Shape{1, 10, 1, 1}));
+  Tensor in(in_shape);
+  Tensor out = lenet.forward(in);
+  EXPECT_EQ(out.shape(), (Shape{1, 10, 1, 1}));
+}
+
+TEST(Models, LeNetParamCount) {
+  Rng rng(2);
+  Sequential lenet = build_lenet(rng);
+  // Classic LeNet-5: 61,706 parameters.
+  EXPECT_EQ(lenet.param_count(), 61706);
+}
+
+TEST(Models, DarkNetSmallShapes) {
+  Rng rng(3);
+  Sequential net = build_darknet_small(rng);
+  const Shape in_shape = darknet_small_spec().input;
+  EXPECT_EQ(net.output_shape(in_shape), (Shape{1, 10, 1, 1}));
+  Tensor out = net.forward(Tensor(in_shape));
+  EXPECT_EQ(out.shape(), (Shape{1, 10, 1, 1}));
+}
+
+TEST(Models, WeightValuesStreamsAllConvAndLinearWeights) {
+  Rng rng(4);
+  Sequential lenet = build_lenet(rng);
+  const auto values = lenet.weight_values();
+  // conv1 150 + conv2 2400 + fc 48000 + 10080 + 840 = 61470 (biases excluded).
+  EXPECT_EQ(values.size(), 61470u);
+}
+
+TEST(Models, TrainedLikeWeightsAreZeroConcentrated) {
+  Rng rng(5);
+  Sequential net = build_lenet(rng);
+  fill_weights_trained_like(net, rng, 0.04);
+  const auto values = net.weight_values();
+  int small = 0;
+  for (float v : values)
+    if (std::fabs(v) < 0.1f) ++small;
+  // Laplace(0, 0.04): |v| < 0.1 with probability 1 - e^{-2.5} ~ 0.918.
+  EXPECT_GT(static_cast<double>(small) / values.size(), 0.85);
+}
+
+}  // namespace
+}  // namespace nocbt::dnn

@@ -1,0 +1,73 @@
+// Tests pinning the MNIST-like properties of the synthetic dataset that the
+// BT experiments depend on: sparsity (mostly exact zeros), bounded positive
+// strokes, and class separability.
+
+#include <gtest/gtest.h>
+
+#include "dnn/synthetic_data.h"
+
+namespace nocbt::dnn {
+namespace {
+
+TEST(SyntheticSparsity, ImagesAreMostlyExactZeros) {
+  SyntheticDataset data(SyntheticDataset::Config{}, 11);
+  const Batch batch = data.sample(16);
+  std::size_t zeros = 0;
+  for (float v : batch.images.data()) zeros += v == 0.0f;
+  const double sparsity =
+      static_cast<double>(zeros) / static_cast<double>(batch.images.numel());
+  // MNIST is ~80% background; the stroke dataset should be in that regime.
+  EXPECT_GT(sparsity, 0.6);
+  EXPECT_LT(sparsity, 0.95);
+}
+
+TEST(SyntheticSparsity, StrokePixelsArePositiveAndBounded) {
+  SyntheticDataset data(SyntheticDataset::Config{}, 12);
+  const Batch batch = data.sample(8);
+  for (float v : batch.images.data()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(SyntheticSparsity, ExemplarHasTwoStrokes) {
+  SyntheticDataset data(SyntheticDataset::Config{}, 13);
+  const Tensor img = data.exemplar(0);
+  // Class 0 strokes are horizontal (angle 0: normal = (0, 1), i.e. the
+  // stroke varies with y). Two distinct bright rows must exist.
+  int bright_rows = 0;
+  for (std::int32_t h = 0; h < img.shape().h; ++h) {
+    float row_max = 0.0f;
+    for (std::int32_t w = 0; w < img.shape().w; ++w)
+      row_max = std::max(row_max, img.at(0, 0, h, w));
+    if (row_max > 0.9f) ++bright_rows;
+  }
+  EXPECT_GE(bright_rows, 2);
+}
+
+TEST(SyntheticSparsity, MultiChannelImagesDiffer) {
+  SyntheticDataset::Config cfg;
+  cfg.channels = 3;
+  cfg.height = 64;
+  cfg.width = 64;
+  SyntheticDataset data(cfg, 14);
+  const Tensor img = data.exemplar(3);
+  double diff = 0.0;
+  for (std::int32_t h = 0; h < 64; ++h)
+    for (std::int32_t w = 0; w < 64; ++w)
+      diff += std::fabs(img.at(0, 0, h, w) - img.at(0, 2, h, w));
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST(SyntheticSparsity, OffsetMovesTheStrokes) {
+  SyntheticDataset data(SyntheticDataset::Config{}, 15);
+  const Tensor a = data.exemplar(2, 0.0f);
+  const Tensor b = data.exemplar(2, 4.0f);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < a.data().size(); ++i)
+    diff += std::fabs(a.data()[i] - b.data()[i]);
+  EXPECT_GT(diff / a.data().size(), 0.01);
+}
+
+}  // namespace
+}  // namespace nocbt::dnn

@@ -1,0 +1,83 @@
+// Unit tests for the Tensor substrate.
+
+#include <gtest/gtest.h>
+
+#include "dnn/tensor.h"
+
+namespace nocbt::dnn {
+namespace {
+
+TEST(Shape, Numel) {
+  EXPECT_EQ((Shape{2, 3, 4, 5}).numel(), 120);
+  EXPECT_EQ((Shape{1, 1, 1, 1}).numel(), 1);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t(Shape{2, 3, 4, 4});
+  EXPECT_EQ(t.numel(), 96);
+  for (float v : t.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Tensor, AtIndexing) {
+  Tensor t(Shape{2, 2, 3, 3});
+  t.at(1, 1, 2, 2) = 5.0f;
+  t.at(0, 0, 0, 0) = 1.0f;
+  t.at(0, 1, 0, 2) = 2.0f;
+  EXPECT_EQ(t.at(1, 1, 2, 2), 5.0f);
+  EXPECT_EQ(t.at(0, 0, 0, 0), 1.0f);
+  EXPECT_EQ(t.at(0, 1, 0, 2), 2.0f);
+  // NCHW layout: (0,1,0,2) = flat 1*9 + 0*3 + 2 = 11.
+  EXPECT_EQ(t.data()[11], 2.0f);
+  // Last element.
+  EXPECT_EQ(t.data()[2 * 2 * 3 * 3 - 1], 5.0f);
+}
+
+TEST(Tensor, FromVectorValidatesSize) {
+  EXPECT_NO_THROW(Tensor::from_vector(Shape{1, 1, 2, 2}, {1, 2, 3, 4}));
+  EXPECT_THROW(Tensor::from_vector(Shape{1, 1, 2, 2}, {1, 2, 3}),
+               std::invalid_argument);
+}
+
+TEST(Tensor, FullAndFill) {
+  Tensor t = Tensor::full(Shape{1, 1, 2, 2}, 3.5f);
+  for (float v : t.data()) EXPECT_EQ(v, 3.5f);
+  t.fill(-1.0f);
+  for (float v : t.data()) EXPECT_EQ(v, -1.0f);
+}
+
+TEST(Tensor, AddScaled) {
+  Tensor a = Tensor::full(Shape{1, 1, 1, 3}, 1.0f);
+  Tensor b = Tensor::from_vector(Shape{1, 1, 1, 3}, {1, 2, 3});
+  a.add_scaled(b, 2.0f);
+  EXPECT_EQ(a.data()[0], 3.0f);
+  EXPECT_EQ(a.data()[1], 5.0f);
+  EXPECT_EQ(a.data()[2], 7.0f);
+  Tensor c(Shape{1, 1, 1, 2});
+  EXPECT_THROW(a.add_scaled(c, 1.0f), std::invalid_argument);
+}
+
+TEST(Tensor, Scale) {
+  Tensor t = Tensor::from_vector(Shape{1, 1, 1, 2}, {2, -4});
+  t.scale(0.5f);
+  EXPECT_EQ(t.data()[0], 1.0f);
+  EXPECT_EQ(t.data()[1], -2.0f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t = Tensor::from_vector(Shape{1, 2, 2, 2}, {1, 2, 3, 4, 5, 6, 7, 8});
+  Tensor r = t.reshaped(Shape{1, 8, 1, 1});
+  EXPECT_EQ(r.shape().c, 8);
+  for (int i = 0; i < 8; ++i)
+    EXPECT_EQ(r.data()[static_cast<std::size_t>(i)], static_cast<float>(i + 1));
+  EXPECT_THROW(t.reshaped(Shape{1, 7, 1, 1}), std::invalid_argument);
+}
+
+TEST(Tensor, MaxAbs) {
+  Tensor t = Tensor::from_vector(Shape{1, 1, 1, 4}, {0.5f, -3.0f, 2.0f, 0.0f});
+  EXPECT_EQ(t.max_abs(), 3.0f);
+  Tensor z(Shape{1, 1, 1, 1});
+  EXPECT_EQ(z.max_abs(), 0.0f);
+}
+
+}  // namespace
+}  // namespace nocbt::dnn

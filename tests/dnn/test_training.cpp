@@ -1,0 +1,211 @@
+// Training-substrate tests: loss, optimizer, dataset, and end-to-end
+// learning on a small problem (the mechanism that produces the paper's
+// "trained LeNet weights").
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dnn/activation.h"
+#include "dnn/conv2d.h"
+#include "dnn/linear.h"
+#include "dnn/loss.h"
+#include "dnn/models.h"
+#include "dnn/pooling.h"
+#include "dnn/sgd.h"
+#include "dnn/synthetic_data.h"
+#include "dnn/trainer.h"
+
+namespace nocbt::dnn {
+namespace {
+
+TEST(Loss, UniformLogitsGiveLogC) {
+  Tensor logits(Shape{2, 10, 1, 1});
+  const LossResult r = softmax_cross_entropy(logits, {3, 7});
+  EXPECT_NEAR(r.loss, std::log(10.0), 1e-6);
+}
+
+TEST(Loss, ConfidentCorrectPredictionHasLowLoss) {
+  Tensor logits(Shape{1, 3, 1, 1});
+  logits.at(0, 1, 0, 0) = 10.0f;
+  const LossResult r = softmax_cross_entropy(logits, {1});
+  EXPECT_LT(r.loss, 1e-3);
+  EXPECT_EQ(r.correct, 1);
+}
+
+TEST(Loss, GradientSumsToZeroPerSample) {
+  Tensor logits = Tensor::from_vector(Shape{1, 4, 1, 1}, {0.1f, 2.0f, -1.0f, 0.5f});
+  const LossResult r = softmax_cross_entropy(logits, {2});
+  double sum = 0.0;
+  for (float g : r.grad.data()) sum += g;
+  EXPECT_NEAR(sum, 0.0, 1e-6);
+  // Gradient at the target is negative (probability < 1).
+  EXPECT_LT(r.grad.at(0, 2, 0, 0), 0.0f);
+}
+
+TEST(Loss, GradMatchesFiniteDifference) {
+  Tensor logits = Tensor::from_vector(Shape{1, 3, 1, 1}, {0.3f, -0.2f, 1.1f});
+  const LossResult r = softmax_cross_entropy(logits, {0});
+  const double eps = 1e-3;
+  for (int c = 0; c < 3; ++c) {
+    Tensor up = logits;
+    up.at(0, c, 0, 0) += static_cast<float>(eps);
+    Tensor down = logits;
+    down.at(0, c, 0, 0) -= static_cast<float>(eps);
+    const double numeric = (softmax_cross_entropy(up, {0}).loss -
+                            softmax_cross_entropy(down, {0}).loss) /
+                           (2 * eps);
+    EXPECT_NEAR(r.grad.at(0, c, 0, 0), numeric, 1e-4);
+  }
+}
+
+TEST(Loss, ValidatesArguments) {
+  Tensor logits(Shape{1, 3, 1, 1});
+  EXPECT_THROW(softmax_cross_entropy(logits, {0, 1}), std::invalid_argument);
+  EXPECT_THROW(softmax_cross_entropy(logits, {5}), std::invalid_argument);
+}
+
+TEST(Argmax, PicksLargestClass) {
+  Tensor logits(Shape{2, 3, 1, 1});
+  logits.at(0, 2, 0, 0) = 1.0f;
+  logits.at(1, 0, 0, 0) = 0.5f;
+  const auto picks = argmax_classes(logits);
+  EXPECT_EQ(picks[0], 2);
+  EXPECT_EQ(picks[1], 0);
+}
+
+TEST(Sgd, GradientStepAndWeightDecay) {
+  Linear fc(1, 1);
+  fc.weight().at(0, 0, 0, 0) = 1.0f;
+  auto params = fc.params();
+  params[0].grad->at(0, 0, 0, 0) = 0.5f;
+  Sgd opt(params, Sgd::Config{0.1f, 0.0f, 0.2f});
+  opt.step();
+  // w -= lr * (g + wd * w) = 1 - 0.1 * (0.5 + 0.2) = 0.93.
+  EXPECT_NEAR(fc.weight().at(0, 0, 0, 0), 0.93f, 1e-6);
+  // Gradients were cleared by the step.
+  EXPECT_EQ(params[0].grad->at(0, 0, 0, 0), 0.0f);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  Linear fc(1, 1);
+  fc.weight().at(0, 0, 0, 0) = 0.0f;
+  auto params = fc.params();
+  Sgd opt(params, Sgd::Config{1.0f, 0.5f, 0.0f});
+  params[0].grad->at(0, 0, 0, 0) = 1.0f;
+  opt.step();  // v=1, w=-1
+  EXPECT_NEAR(fc.weight().at(0, 0, 0, 0), -1.0f, 1e-6);
+  params[0].grad->at(0, 0, 0, 0) = 1.0f;
+  opt.step();  // v=1.5, w=-2.5
+  EXPECT_NEAR(fc.weight().at(0, 0, 0, 0), -2.5f, 1e-6);
+}
+
+TEST(SyntheticData, DeterministicForSameSeed) {
+  SyntheticDataset a(SyntheticDataset::Config{}, 42);
+  SyntheticDataset b(SyntheticDataset::Config{}, 42);
+  const Batch ba = a.sample(4);
+  const Batch bb = b.sample(4);
+  EXPECT_EQ(ba.labels, bb.labels);
+  for (std::size_t i = 0; i < ba.images.data().size(); ++i)
+    EXPECT_EQ(ba.images.data()[i], bb.images.data()[i]);
+}
+
+TEST(SyntheticData, ExemplarsDifferAcrossClasses) {
+  SyntheticDataset data(SyntheticDataset::Config{}, 1);
+  const Tensor e0 = data.exemplar(0);
+  const Tensor e5 = data.exemplar(5);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < e0.data().size(); ++i)
+    diff += std::fabs(e0.data()[i] - e5.data()[i]);
+  EXPECT_GT(diff / e0.data().size(), 0.1);
+}
+
+TEST(SyntheticData, ValuesBounded) {
+  SyntheticDataset data(SyntheticDataset::Config{}, 2);
+  const Batch batch = data.sample(8);
+  for (float v : batch.images.data()) {
+    EXPECT_GT(v, -3.0f);
+    EXPECT_LT(v, 3.0f);
+  }
+  for (auto label : batch.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 10);
+  }
+}
+
+// A small conv net learns the stroke-orientation task well above chance in a few
+// hundred steps — the substrate behind "trained LeNet weights".
+TEST(Training, SmallConvNetLearnsGratings) {
+  Rng rng(7);
+  Sequential model;
+  model.emplace<Conv2d>(1, 4, 5, 2, 0);  // 4 @ 14x14
+  model.emplace<Relu>();
+  model.emplace<AvgPool2d>(2);           // 4 @ 7x7
+  model.emplace<Flatten>();
+  model.emplace<Linear>(4 * 7 * 7, 10);
+  for (std::size_t i = 0; i < model.size(); ++i) {
+    if (model.layer(i).kind() == LayerKind::kConv2d)
+      static_cast<Conv2d&>(model.layer(i)).init_kaiming(rng);
+    if (model.layer(i).kind() == LayerKind::kLinear)
+      static_cast<Linear&>(model.layer(i)).init_kaiming(rng);
+  }
+
+  SyntheticDataset data(SyntheticDataset::Config{}, 99);
+  Trainer::Config cfg;
+  cfg.epochs = 3;
+  cfg.steps_per_epoch = 40;
+  cfg.batch_size = 16;
+  cfg.sgd.lr = 0.05f;
+  Trainer trainer(model, data, cfg);
+  const auto history = trainer.train();
+
+  ASSERT_EQ(history.size(), 3u);
+  EXPECT_LT(history.back().mean_loss, history.front().mean_loss);
+  const double accuracy = trainer.evaluate(200);
+  EXPECT_GT(accuracy, 0.5);  // chance is 0.1
+}
+
+TEST(Weights, SaveLoadRoundTrip) {
+  Rng rng(21);
+  Sequential a = build_lenet(rng);
+  const std::string path = "/tmp/nocbt_test_weights.bin";
+  a.save_weights(path);
+
+  Rng rng2(99);  // different init
+  Sequential b = build_lenet(rng2);
+  b.load_weights(path);
+  const auto wa = a.weight_values();
+  const auto wb = b.weight_values();
+  ASSERT_EQ(wa.size(), wb.size());
+  for (std::size_t i = 0; i < wa.size(); ++i) ASSERT_EQ(wa[i], wb[i]);
+  std::remove(path.c_str());
+}
+
+TEST(Weights, LoadRejectsMismatchedModel) {
+  Rng rng(22);
+  Sequential lenet = build_lenet(rng);
+  const std::string path = "/tmp/nocbt_test_weights2.bin";
+  lenet.save_weights(path);
+  Sequential other;
+  other.emplace<Linear>(4, 2);
+  EXPECT_THROW(other.load_weights(path), std::runtime_error);
+  EXPECT_THROW(lenet.load_weights("/nonexistent/w.bin"), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Training, LossDecreasesOnLeNet) {
+  Rng rng(8);
+  Sequential lenet = build_lenet(rng);
+  SyntheticDataset data(SyntheticDataset::Config{}, 100);
+  Trainer::Config cfg;
+  cfg.epochs = 2;
+  cfg.steps_per_epoch = 12;
+  cfg.batch_size = 8;
+  cfg.sgd.lr = 0.02f;
+  Trainer trainer(lenet, data, cfg);
+  const auto history = trainer.train();
+  EXPECT_LT(history.back().mean_loss, history.front().mean_loss * 1.05);
+}
+
+}  // namespace
+}  // namespace nocbt::dnn

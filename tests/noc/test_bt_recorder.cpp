@@ -1,0 +1,140 @@
+// Unit and integration tests for the bit-transition recorder (paper Fig. 8).
+
+#include <gtest/gtest.h>
+
+#include "common/bitvec.h"
+#include "noc/bt_recorder.h"
+#include "noc/network.h"
+
+namespace nocbt::noc {
+namespace {
+
+BitVec pattern64(std::uint64_t bits) {
+  BitVec v(64);
+  v.set_field(0, 64, bits);
+  return v;
+}
+
+TEST(BtRecorder, CountsXorPopcountAgainstPreviousFlit) {
+  BtRecorder rec(BtScopeConfig{}, 64);
+  const auto link = rec.register_link({LinkKind::kInterRouter, 0, 1, kEast});
+  rec.observe(link, pattern64(0x0));  // wires start at 0: no transitions
+  EXPECT_EQ(rec.total(), 0u);
+  rec.observe(link, pattern64(0xFF));  // 8 transitions
+  EXPECT_EQ(rec.total(), 8u);
+  rec.observe(link, pattern64(0xF0));  // 4 transitions
+  EXPECT_EQ(rec.total(), 12u);
+  rec.observe(link, pattern64(0xF0));  // identical: 0 transitions
+  EXPECT_EQ(rec.total(), 12u);
+}
+
+TEST(BtRecorder, FirstFlitCountsFromZeroWireState) {
+  BtRecorder rec(BtScopeConfig{}, 64);
+  const auto link = rec.register_link({LinkKind::kInterRouter, 0, 1, kEast});
+  rec.observe(link, pattern64(0xFFFF));
+  EXPECT_EQ(rec.total(), 16u);
+}
+
+TEST(BtRecorder, LinksAreIndependent) {
+  BtRecorder rec(BtScopeConfig{}, 64);
+  const auto a = rec.register_link({LinkKind::kInterRouter, 0, 1, kEast});
+  const auto b = rec.register_link({LinkKind::kInterRouter, 1, 2, kEast});
+  rec.observe(a, pattern64(0xFF));
+  rec.observe(b, pattern64(0x0F));
+  EXPECT_EQ(rec.link_bt(a), 8u);
+  EXPECT_EQ(rec.link_bt(b), 4u);
+  EXPECT_EQ(rec.total(), 12u);
+  EXPECT_EQ(rec.link_flits(a), 1u);
+  EXPECT_EQ(rec.link_flits(b), 1u);
+}
+
+TEST(BtRecorder, ScopeFiltersKinds) {
+  BtScopeConfig scope;
+  scope.count_injection = false;
+  scope.count_inter_router = true;
+  scope.count_ejection = false;
+  BtRecorder rec(scope, 64);
+  const auto inj = rec.register_link({LinkKind::kInjection, 0, 0, -1});
+  const auto mid = rec.register_link({LinkKind::kInterRouter, 0, 1, kEast});
+  const auto ej = rec.register_link({LinkKind::kEjection, 1, 1, kLocal});
+  rec.observe(inj, pattern64(0xF));
+  rec.observe(mid, pattern64(0xFF));
+  rec.observe(ej, pattern64(0xFFF));
+  EXPECT_EQ(rec.total(), 8u);
+  EXPECT_EQ(rec.total_all_links(), 4u + 8u + 12u);
+  EXPECT_EQ(rec.by_kind(LinkKind::kInjection), 4u);
+  EXPECT_EQ(rec.by_kind(LinkKind::kEjection), 12u);
+}
+
+TEST(BtRecorder, BtPerFlit) {
+  BtRecorder rec(BtScopeConfig{}, 64);
+  const auto link = rec.register_link({LinkKind::kInterRouter, 0, 1, kEast});
+  rec.observe(link, pattern64(0xFF));   // 8
+  rec.observe(link, pattern64(0x00));   // 8
+  EXPECT_DOUBLE_EQ(rec.bt_per_flit(), 8.0);
+}
+
+TEST(BtRecorder, ResetClearsStateAndWireRegisters) {
+  BtRecorder rec(BtScopeConfig{}, 64);
+  const auto link = rec.register_link({LinkKind::kInterRouter, 0, 1, kEast});
+  rec.observe(link, pattern64(0xFF));
+  rec.reset();
+  EXPECT_EQ(rec.total(), 0u);
+  EXPECT_EQ(rec.flits_in_scope(), 0u);
+  // After reset the wire state is zero again, so the same flit re-counts.
+  rec.observe(link, pattern64(0xFF));
+  EXPECT_EQ(rec.total(), 8u);
+}
+
+TEST(BtRecorder, NetworkAccumulatesBtOnTraffic) {
+  NocConfig cfg;
+  cfg.rows = 2;
+  cfg.cols = 2;
+  cfg.flit_payload_bits = 64;
+  Network net(cfg);
+  net.set_sink(3, [](Packet&&, std::uint64_t) {});
+
+  // Two identical-payload flits in one packet: transitions happen only on
+  // the first flit of each link (wire state 0 -> pattern), then 0 between
+  // the equal consecutive flits.
+  std::vector<BitVec> payloads(2, pattern64(0xFFFF));
+  net.inject(0, 3, payloads);
+  ASSERT_TRUE(net.run_until_idle(10'000));
+  // Route 0 -> 3 in a 2x2 mesh: 2 inter-router links + 1 ejection link in
+  // scope (default scope excludes injection).
+  EXPECT_EQ(net.bt().total(), 3u * 16u);
+  EXPECT_EQ(net.bt().flits_by_kind(LinkKind::kInterRouter), 4u);
+  EXPECT_EQ(net.bt().flits_by_kind(LinkKind::kEjection), 2u);
+}
+
+TEST(BtRecorder, AlternatingPayloadsMaximizeBt) {
+  NocConfig cfg;
+  cfg.rows = 1;
+  cfg.cols = 2;
+  cfg.flit_payload_bits = 64;
+  cfg.bt_scope.count_ejection = false;  // isolate the single inter-router link
+  Network net(cfg);
+  net.set_sink(1, [](Packet&&, std::uint64_t) {});
+
+  std::vector<BitVec> payloads;
+  for (int i = 0; i < 8; ++i)
+    payloads.push_back(pattern64(i % 2 ? ~0ull : 0ull));
+  net.inject(0, 1, payloads);
+  ASSERT_TRUE(net.run_until_idle(10'000));
+  // First flit: 0 transitions (wire already 0); each subsequent flit flips
+  // all 64 wires: 7 * 64.
+  EXPECT_EQ(net.bt().total(), 7u * 64u);
+}
+
+TEST(BtRecorder, LinkCountFor2x2Mesh) {
+  NocConfig cfg;
+  cfg.rows = 2;
+  cfg.cols = 2;
+  cfg.flit_payload_bits = 64;
+  Network net(cfg);
+  // 2x2 mesh: 8 directed inter-router links + 4 injection + 4 ejection.
+  EXPECT_EQ(net.bt().link_count(), 16u);
+}
+
+}  // namespace
+}  // namespace nocbt::noc
