@@ -1,0 +1,24 @@
+# Shared compile/link options for every nocbt target.
+#
+# nocbt_warnings is an INTERFACE target linked PRIVATE by all libraries and
+# executables: warnings stay a build-tree policy and are never exported to
+# consumers. The optional NOCBT_SANITIZE flags ride on the same target so
+# object files and final links always agree on instrumentation.
+
+add_library(nocbt_warnings INTERFACE)
+
+if(MSVC)
+  target_compile_options(nocbt_warnings INTERFACE /W4)
+else()
+  target_compile_options(nocbt_warnings INTERFACE -Wall -Wextra)
+endif()
+
+if(NOCBT_SANITIZE)
+  if(MSVC)
+    message(FATAL_ERROR "NOCBT_SANITIZE is only supported with GCC/Clang")
+  endif()
+  message(STATUS "Sanitizers enabled: ${NOCBT_SANITIZE}")
+  target_compile_options(nocbt_warnings INTERFACE
+    -fsanitize=${NOCBT_SANITIZE} -fno-omit-frame-pointer)
+  target_link_options(nocbt_warnings INTERFACE -fsanitize=${NOCBT_SANITIZE})
+endif()

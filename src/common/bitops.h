@@ -9,6 +9,12 @@
 #include <cstdint>
 #include <span>
 
+#if !defined(__cpp_lib_bitops) || __cpp_lib_bitops < 201907L
+#error \
+    "nocbt requires C++20 <bit> (std::popcount / __cpp_lib_bitops >= 201907L); \
+compile with -std=c++20 or newer (the CMake build sets this automatically)"
+#endif
+
 namespace nocbt {
 
 /// Number of '1' bits in an 8-bit pattern.

@@ -1,8 +1,61 @@
 #include "noc/trace.h"
 
+#include <cctype>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+
 #include "common/csv.h"
 
 namespace nocbt::noc {
+
+namespace {
+
+std::vector<std::string> split_row(const std::string& line) {
+  // Plain find-based split: this is the library's only bulk-input path, so
+  // avoid a stringstream per row.
+  std::vector<std::string> cells;
+  std::size_t start = 0;
+  for (std::size_t comma = line.find(','); comma != std::string::npos;
+       comma = line.find(',', start)) {
+    cells.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+  cells.push_back(line.substr(start));
+  return cells;
+}
+
+/// Whole-cell unsigned parse with an explicit range cap: rejects trailing
+/// garbage ("12abc"), signs/whitespace, and values the target field would
+/// truncate.
+std::uint64_t parse_u64(const std::string& cell, std::uint64_t max_value) {
+  if (cell.empty() || !std::isdigit(static_cast<unsigned char>(cell[0])))
+    throw std::invalid_argument("not a non-negative integer: " + cell);
+  std::size_t pos = 0;
+  const unsigned long long v = std::stoull(cell, &pos);
+  if (pos != cell.size())
+    throw std::invalid_argument("trailing garbage: " + cell);
+  if (v > max_value) throw std::out_of_range("value out of range: " + cell);
+  return v;
+}
+
+std::int32_t parse_i32(const std::string& cell) {
+  // Same whole-cell strictness as parse_u64, with an optional leading '-'.
+  const std::size_t digit_at = (!cell.empty() && cell[0] == '-') ? 1 : 0;
+  if (cell.size() <= digit_at ||
+      !std::isdigit(static_cast<unsigned char>(cell[digit_at])))
+    throw std::invalid_argument("not an integer: " + cell);
+  std::size_t pos = 0;
+  const long long v = std::stoll(cell, &pos);
+  if (pos != cell.size())
+    throw std::invalid_argument("trailing garbage: " + cell);
+  if (v < std::numeric_limits<std::int32_t>::min() ||
+      v > std::numeric_limits<std::int32_t>::max())
+    throw std::out_of_range("value out of range: " + cell);
+  return static_cast<std::int32_t>(v);
+}
+
+}  // namespace
 
 std::size_t PacketTrace::dump_csv(const std::string& path) const {
   CsvWriter csv(path, {"packet_id", "src", "dst", "num_flits", "inject_cycle",
@@ -15,6 +68,65 @@ std::size_t PacketTrace::dump_csv(const std::string& path) const {
                  std::to_string(e.hops)});
   }
   return csv.rows_written();
+}
+
+PacketTrace PacketTrace::load_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("PacketTrace::load_csv: cannot open " + path);
+
+  const std::string expected_header =
+      "packet_id,src,dst,num_flits,inject_cycle,eject_cycle,latency,hops";
+  // Tolerate CRLF line endings so a trace recorded on one platform can be
+  // replayed on another.
+  const auto strip_cr = [](std::string& s) {
+    if (!s.empty() && s.back() == '\r') s.pop_back();
+  };
+  std::string line;
+  if (!std::getline(in, line)) line.clear();
+  strip_cr(line);
+  if (line != expected_header)
+    throw std::runtime_error("PacketTrace::load_csv: bad header in " + path);
+
+  PacketTrace trace;
+  std::size_t row = 1;
+  while (std::getline(in, line)) {
+    ++row;
+    strip_cr(line);
+    if (line.empty()) continue;
+    const auto cells = split_row(line);
+    if (cells.size() != 8)
+      throw std::runtime_error("PacketTrace::load_csv: row " +
+                               std::to_string(row) + " has " +
+                               std::to_string(cells.size()) + " cells");
+    try {
+      TraceEvent e;
+      e.packet_id = parse_u64(cells[0], std::numeric_limits<std::uint64_t>::max());
+      e.src = parse_i32(cells[1]);
+      e.dst = parse_i32(cells[2]);
+      e.num_flits = static_cast<std::uint32_t>(
+          parse_u64(cells[3], std::numeric_limits<std::uint32_t>::max()));
+      e.inject_cycle =
+          parse_u64(cells[4], std::numeric_limits<std::uint64_t>::max());
+      e.eject_cycle =
+          parse_u64(cells[5], std::numeric_limits<std::uint64_t>::max());
+      // The latency column is derived on dump; require ordered timestamps
+      // and an agreeing value so a hand-edited trace cannot carry
+      // contradictory timing.
+      if (e.eject_cycle < e.inject_cycle)
+        throw std::invalid_argument("eject_cycle precedes inject_cycle");
+      if (parse_u64(cells[6], std::numeric_limits<std::uint64_t>::max()) !=
+          e.eject_cycle - e.inject_cycle)
+        throw std::invalid_argument("latency != eject_cycle - inject_cycle");
+      e.hops = static_cast<std::uint16_t>(
+          parse_u64(cells[7], std::numeric_limits<std::uint16_t>::max()));
+      trace.record(e);
+    } catch (const std::exception& e) {
+      throw std::runtime_error("PacketTrace::load_csv: malformed row " +
+                               std::to_string(row) + " in " + path + ": " +
+                               e.what());
+    }
+  }
+  return trace;
 }
 
 }  // namespace nocbt::noc

@@ -34,6 +34,11 @@ class PacketTrace {
   /// Write all events to `path` as CSV. Returns rows written.
   std::size_t dump_csv(const std::string& path) const;
 
+  /// Parse a CSV previously written by dump_csv, so a recorded trace can be
+  /// replayed as a synthetic workload. Throws std::runtime_error on a
+  /// missing file, wrong header, or malformed row.
+  [[nodiscard]] static PacketTrace load_csv(const std::string& path);
+
  private:
   std::vector<TraceEvent> events_;
 };

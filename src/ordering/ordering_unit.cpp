@@ -1,5 +1,9 @@
 #include "ordering/ordering_unit.h"
 
+#include <utility>
+
+#include "common/bitops.h"
+
 namespace nocbt::ordering {
 
 std::uint64_t OrderingUnitModel::cycles_to_order(std::uint32_t n) const noexcept {
@@ -8,6 +12,32 @@ std::uint64_t OrderingUnitModel::cycles_to_order(std::uint32_t n) const noexcept
   // beyond the lane width stream through the pipelined network at line
   // rate, so the latency stays linear in n.
   return config_.popcount_stages + n;
+}
+
+std::vector<std::uint32_t> OrderingUnitModel::hardware_order(
+    std::span<const std::uint32_t> patterns) const {
+  const std::size_t n = patterns.size();
+  const auto mask = static_cast<std::uint32_t>(low_mask(config_.value_bits));
+  std::vector<std::uint32_t> perm(n);
+  std::vector<int> key(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    perm[i] = static_cast<std::uint32_t>(i);
+    // The hardware pop-count stage is the SWAR circuit of Fig. 14, sized
+    // for config_.value_bits wires per slot.
+    key[i] = swar_popcount32(patterns[i] & mask);
+  }
+  // Odd-even transposition: pass p compares pairs starting at p & 1. Each
+  // comparator swaps only on a strictly smaller left key (descending sort),
+  // so equal keys never move past each other and the network is stable.
+  for (std::size_t pass = 0; pass < n; ++pass) {
+    for (std::size_t i = pass & 1; i + 1 < n; i += 2) {
+      if (key[i] < key[i + 1]) {
+        std::swap(key[i], key[i + 1]);
+        std::swap(perm[i], perm[i + 1]);
+      }
+    }
+  }
+  return perm;
 }
 
 }  // namespace nocbt::ordering

@@ -6,6 +6,8 @@
 // verifies that claim by enabling this timing model in the platform.
 
 #include <cstdint>
+#include <span>
+#include <vector>
 
 namespace nocbt::ordering {
 
@@ -59,6 +61,16 @@ class OrderingUnitModel {
       std::uint32_t n) const noexcept {
     return 2 * initiation_interval(n);
   }
+
+  /// Bit-accurate behavioral model of the sort network: a SWAR pop-count
+  /// per value feeding n odd-even-transposition passes whose comparators
+  /// swap only on strictly out-of-order keys. Keys are the low
+  /// `config().value_bits` bits of each pattern — the same width the cycle
+  /// model's pop-count stage is sized for. The strict comparison makes the
+  /// network stable, so for a matching-width DataFormat the permutation
+  /// must match the software popcount_descending_order reference exactly.
+  [[nodiscard]] std::vector<std::uint32_t> hardware_order(
+      std::span<const std::uint32_t> patterns) const;
 
   /// Comparator count of the transposition network (lanes/2 per pass slot).
   [[nodiscard]] std::uint32_t comparators() const noexcept {

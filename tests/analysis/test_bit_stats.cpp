@@ -1,0 +1,110 @@
+// Tests for the per-bit-position statistics behind Figs. 10-11: '1'
+// probability per bit and transition probability per bit lane across
+// consecutive flits, both reported MSB-first.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "analysis/bit_stats.h"
+#include "common/rng.h"
+
+namespace nocbt::analysis {
+namespace {
+
+TEST(OneProbabilityPerBit, EmptyStreamIsAllZero) {
+  const std::vector<std::uint32_t> empty;
+  const auto fixed = one_probability_per_bit(empty, DataFormat::kFixed8);
+  ASSERT_EQ(fixed.size(), 8u);
+  for (const double p : fixed) EXPECT_EQ(p, 0.0);
+
+  const auto fp = one_probability_per_bit(empty, DataFormat::kFloat32);
+  ASSERT_EQ(fp.size(), 32u);
+  for (const double p : fp) EXPECT_EQ(p, 0.0);
+}
+
+TEST(OneProbabilityPerBit, MsbFirstOrientation) {
+  // A single 0x80 pattern: only the MSB is set, and the MSB is index 0.
+  const std::vector<std::uint32_t> patterns = {0x80};
+  const auto p = one_probability_per_bit(patterns, DataFormat::kFixed8);
+  ASSERT_EQ(p.size(), 8u);
+  EXPECT_EQ(p[0], 1.0);
+  for (std::size_t b = 1; b < 8; ++b) EXPECT_EQ(p[b], 0.0);
+}
+
+TEST(OneProbabilityPerBit, CountsAcrossPatterns) {
+  // {0xFF, 0x00} -> every position is '1' half the time; adding 0x0F skews
+  // the low nibble (MSB-first indices 4..7) to 2/3.
+  const std::vector<std::uint32_t> half = {0xFF, 0x00};
+  for (const double p : one_probability_per_bit(half, DataFormat::kFixed8))
+    EXPECT_DOUBLE_EQ(p, 0.5);
+
+  const std::vector<std::uint32_t> skew = {0xFF, 0x00, 0x0F};
+  const auto p = one_probability_per_bit(skew, DataFormat::kFixed8);
+  for (std::size_t b = 0; b < 4; ++b) EXPECT_DOUBLE_EQ(p[b], 1.0 / 3.0);
+  for (std::size_t b = 4; b < 8; ++b) EXPECT_DOUBLE_EQ(p[b], 2.0 / 3.0);
+}
+
+TEST(OneProbabilityPerBit, Float32UsesAll32Positions) {
+  // Sign bit set on half the values: MSB-first index 0 should read 0.5.
+  const std::vector<std::uint32_t> patterns = {0x80000000u, 0x00000000u};
+  const auto p = one_probability_per_bit(patterns, DataFormat::kFloat32);
+  ASSERT_EQ(p.size(), 32u);
+  EXPECT_DOUBLE_EQ(p[0], 0.5);
+  for (std::size_t b = 1; b < 32; ++b) EXPECT_EQ(p[b], 0.0);
+}
+
+TEST(TransitionProbabilityPerBit, ZeroLanesThrows) {
+  const std::vector<std::uint32_t> patterns = {1, 2};
+  EXPECT_THROW(transition_probability_per_bit(patterns, DataFormat::kFixed8, 0),
+               std::invalid_argument);
+}
+
+TEST(TransitionProbabilityPerBit, SingleFlitHasNoTransitions) {
+  // Two values, two lanes -> one flit -> no consecutive pair to compare.
+  const std::vector<std::uint32_t> patterns = {0xFF, 0x00};
+  const auto p =
+      transition_probability_per_bit(patterns, DataFormat::kFixed8, 2);
+  ASSERT_EQ(p.size(), 8u);
+  for (const double v : p) EXPECT_EQ(v, 0.0);
+}
+
+TEST(TransitionProbabilityPerBit, LanewiseHandComputedCase) {
+  // Flit 0 lanes (0x00, 0x00), flit 1 lanes (0xFF, 0x0F): lane 0 flips all
+  // 8 positions, lane 1 flips the low nibble. Two lane comparisons total,
+  // so MSB-first positions 0..3 read 1/2 and 4..7 read 1.
+  const std::vector<std::uint32_t> patterns = {0x00, 0x00, 0xFF, 0x0F};
+  const auto p =
+      transition_probability_per_bit(patterns, DataFormat::kFixed8, 2);
+  ASSERT_EQ(p.size(), 8u);
+  for (std::size_t b = 0; b < 4; ++b) EXPECT_DOUBLE_EQ(p[b], 0.5);
+  for (std::size_t b = 4; b < 8; ++b) EXPECT_DOUBLE_EQ(p[b], 1.0);
+}
+
+TEST(TransitionProbabilityPerBit, RaggedTailIsZeroPadded) {
+  // Three identical values, two lanes: flit 1's missing lane compares
+  // 0xFF -> 0x00 (pad), so every position flips once in two comparisons.
+  const std::vector<std::uint32_t> patterns = {0xFF, 0xFF, 0xFF};
+  const auto p =
+      transition_probability_per_bit(patterns, DataFormat::kFixed8, 2);
+  for (const double v : p) EXPECT_DOUBLE_EQ(v, 0.5);
+}
+
+TEST(TransitionProbabilityPerBit, ProbabilitiesStayInUnitInterval) {
+  Rng rng(17);
+  std::vector<std::uint32_t> patterns;
+  for (int i = 0; i < 1000; ++i)
+    patterns.push_back(static_cast<std::uint32_t>(rng.bits64()));
+  for (const unsigned lanes : {1u, 3u, 8u}) {
+    for (const double v :
+         transition_probability_per_bit(patterns, DataFormat::kFloat32, lanes)) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nocbt::analysis

@@ -1,0 +1,134 @@
+// Tests for the packet traffic trace (paper Fig. 7 output): recording,
+// CSV dump, and the load_csv replay path round-tripping every field.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "noc/trace.h"
+
+namespace nocbt::noc {
+namespace {
+
+TraceEvent make_event(std::uint64_t id) {
+  TraceEvent e;
+  e.packet_id = id;
+  e.src = static_cast<std::int32_t>(id % 16);
+  e.dst = static_cast<std::int32_t>((id * 7 + 3) % 16);
+  e.num_flits = static_cast<std::uint32_t>(1 + id % 9);
+  e.inject_cycle = id * 10;
+  e.eject_cycle = id * 10 + 5 + id % 11;
+  e.hops = static_cast<std::uint16_t>(1 + id % 6);
+  return e;
+}
+
+void expect_events_equal(const TraceEvent& a, const TraceEvent& b) {
+  EXPECT_EQ(a.packet_id, b.packet_id);
+  EXPECT_EQ(a.src, b.src);
+  EXPECT_EQ(a.dst, b.dst);
+  EXPECT_EQ(a.num_flits, b.num_flits);
+  EXPECT_EQ(a.inject_cycle, b.inject_cycle);
+  EXPECT_EQ(a.eject_cycle, b.eject_cycle);
+  EXPECT_EQ(a.hops, b.hops);
+}
+
+TEST(PacketTrace, RecordAccumulates) {
+  PacketTrace trace;
+  EXPECT_EQ(trace.size(), 0u);
+  trace.record(make_event(1));
+  trace.record(make_event(2));
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.events()[0].packet_id, 1u);
+  EXPECT_EQ(trace.events()[1].packet_id, 2u);
+}
+
+TEST(PacketTrace, DumpLoadRoundTrip) {
+  const std::string path = testing::TempDir() + "nocbt_trace_roundtrip.csv";
+  PacketTrace trace;
+  for (std::uint64_t id = 0; id < 25; ++id) trace.record(make_event(id));
+
+  EXPECT_EQ(trace.dump_csv(path), trace.size());
+
+  const PacketTrace replayed = PacketTrace::load_csv(path);
+  ASSERT_EQ(replayed.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i)
+    expect_events_equal(replayed.events()[i], trace.events()[i]);
+}
+
+TEST(PacketTrace, EmptyTraceRoundTrips) {
+  const std::string path = testing::TempDir() + "nocbt_trace_empty.csv";
+  PacketTrace trace;
+  EXPECT_EQ(trace.dump_csv(path), 0u);
+  EXPECT_EQ(PacketTrace::load_csv(path).size(), 0u);
+}
+
+TEST(PacketTrace, LoadMissingFileThrows) {
+  EXPECT_THROW(PacketTrace::load_csv("/nonexistent/dir/trace.csv"),
+               std::runtime_error);
+}
+
+TEST(PacketTrace, LoadRejectsWrongHeader) {
+  const std::string path = testing::TempDir() + "nocbt_trace_badheader.csv";
+  std::ofstream(path) << "id,src,dst\n1,2,3\n";
+  EXPECT_THROW(PacketTrace::load_csv(path), std::runtime_error);
+}
+
+TEST(PacketTrace, LoadRejectsMalformedRow) {
+  const std::string path = testing::TempDir() + "nocbt_trace_badrow.csv";
+  std::ofstream(path)
+      << "packet_id,src,dst,num_flits,inject_cycle,eject_cycle,latency,hops\n"
+      << "1,0,3,4,10,15,5\n";  // 7 cells
+  EXPECT_THROW(PacketTrace::load_csv(path), std::runtime_error);
+
+  std::ofstream(path)
+      << "packet_id,src,dst,num_flits,inject_cycle,eject_cycle,latency,hops\n"
+      << "one,0,3,4,10,15,5,2\n";  // non-numeric id
+  EXPECT_THROW(PacketTrace::load_csv(path), std::runtime_error);
+
+  std::ofstream(path)
+      << "packet_id,src,dst,num_flits,inject_cycle,eject_cycle,latency,hops\n"
+      << "1,0,3,4,10,15,5,70000\n";  // hops overflows uint16
+  EXPECT_THROW(PacketTrace::load_csv(path), std::runtime_error);
+
+  std::ofstream(path)
+      << "packet_id,src,dst,num_flits,inject_cycle,eject_cycle,latency,hops\n"
+      << "12abc,0,3,4,10,15,5,2\n";  // trailing garbage
+  EXPECT_THROW(PacketTrace::load_csv(path), std::runtime_error);
+
+  std::ofstream(path)
+      << "packet_id,src,dst,num_flits,inject_cycle,eject_cycle,latency,hops\n"
+      << "1,0,3,4,10,15,9,2\n";  // latency contradicts eject - inject
+  EXPECT_THROW(PacketTrace::load_csv(path), std::runtime_error);
+
+  std::ofstream(path)
+      << "packet_id,src,dst,num_flits,inject_cycle,eject_cycle,latency,hops\n"
+      << " -1,0,3,4,10,15,5,2\n";  // whitespace-masked sign must not wrap
+  EXPECT_THROW(PacketTrace::load_csv(path), std::runtime_error);
+
+  std::ofstream(path)
+      << "packet_id,src,dst,num_flits,inject_cycle,eject_cycle,latency,hops\n"
+      << "1, 0,3,4,10,15,5,2\n";  // signed fields are whole-cell strict too
+  EXPECT_THROW(PacketTrace::load_csv(path), std::runtime_error);
+
+  std::ofstream(path)
+      << "packet_id,src,dst,num_flits,inject_cycle,eject_cycle,latency,hops\n"
+      << "1,0,3,4,20,10,18446744073709551606,2\n";  // eject before inject
+  EXPECT_THROW(PacketTrace::load_csv(path), std::runtime_error);
+}
+
+TEST(PacketTrace, LoadToleratesCrlfLineEndings) {
+  const std::string path = testing::TempDir() + "nocbt_trace_crlf.csv";
+  std::ofstream(path)
+      << "packet_id,src,dst,num_flits,inject_cycle,eject_cycle,latency,hops\r\n"
+      << "7,2,5,3,10,18,8,4\r\n";
+  const PacketTrace trace = PacketTrace::load_csv(path);
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace.events()[0].packet_id, 7u);
+  EXPECT_EQ(trace.events()[0].hops, 4u);
+}
+
+}  // namespace
+}  // namespace nocbt::noc

@@ -1,0 +1,145 @@
+// Tests for the hardware ordering-unit model (paper Fig. 14): the
+// behavioral sort network must agree bit-for-bit with the software
+// popcount_descending_order reference, across the O0/O1/O2 transmission
+// configurations, and the cycle model must match §IV-C3's latency shape.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitops.h"
+#include "common/rng.h"
+#include "ordering/ordering.h"
+#include "ordering/ordering_unit.h"
+
+namespace nocbt::ordering {
+namespace {
+
+std::vector<std::uint32_t> random_patterns(std::size_t n, DataFormat format,
+                                           std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint32_t> out;
+  out.reserve(n);
+  const std::uint64_t mask = low_mask(value_bits(format));
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back(static_cast<std::uint32_t>(rng.bits64() & mask));
+  return out;
+}
+
+/// A unit whose pop-count stage is sized for the given format's values —
+/// the configuration the platform instantiates per layer layout.
+OrderingUnitModel unit_for(DataFormat format) {
+  OrderingUnitConfig config;
+  config.value_bits = value_bits(format);
+  return OrderingUnitModel(config);
+}
+
+TEST(OrderingUnitModel, HardwareOrderMatchesSoftwareReference) {
+  for (const DataFormat format : {DataFormat::kFixed8, DataFormat::kFloat32}) {
+    const OrderingUnitModel unit = unit_for(format);
+    for (const std::size_t n : {0u, 1u, 2u, 15u, 16u, 17u, 64u, 255u}) {
+      for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        const auto window = random_patterns(n, format, seed * 131 + n);
+        const auto hw = unit.hardware_order(window);
+        const auto sw = popcount_descending_order(window, format);
+        EXPECT_EQ(hw, sw) << "n=" << n << " seed=" << seed
+                          << " format=" << to_string(format);
+      }
+    }
+  }
+}
+
+TEST(OrderingUnitModel, HardwareOrderKeysOnConfiguredWidth) {
+  // An 8-bit unit must ignore stray bits above its wire width, matching
+  // the fixed-8 software reference even on dirty upper bits.
+  const OrderingUnitModel unit = unit_for(DataFormat::kFixed8);
+  const std::vector<std::uint32_t> dirty = {0xFFFFFF01u, 0x000000F0u,
+                                            0xABCD00FFu, 0x00000000u};
+  const auto hw = unit.hardware_order(dirty);
+  EXPECT_EQ(hw, popcount_descending_order(dirty, DataFormat::kFixed8));
+  EXPECT_EQ(dirty[hw[0]], 0xABCD00FFu);  // popcount8 == 8
+}
+
+TEST(OrderingUnitModel, HardwareOrderIsStableOnTies) {
+  // All-equal popcounts: the network's strict comparators must never move
+  // anything, exactly like the stable software sort.
+  const OrderingUnitModel unit = unit_for(DataFormat::kFixed8);
+  const std::vector<std::uint32_t> ties = {0x0F, 0xF0, 0x33, 0xCC, 0x55};
+  const auto hw = unit.hardware_order(ties);
+  const std::vector<std::uint32_t> identity = {0, 1, 2, 3, 4};
+  EXPECT_EQ(hw, identity);
+}
+
+TEST(OrderingUnitModel, BaselineModeNeedsNoSort) {
+  // O0: values go out in natural task order — the unit is bypassed, so the
+  // "ordering" is the identity permutation by definition.
+  EXPECT_EQ(parse_ordering_mode("O0"), OrderingMode::kBaseline);
+}
+
+TEST(OrderingUnitModel, AffiliatedModePreservesPairing) {
+  // O1: one hardware sort keyed on the weights reorders (weight, input)
+  // pairs together, so the dot product is preserved with no recovery index.
+  const OrderingUnitModel unit = unit_for(DataFormat::kFixed8);
+  const auto weights = random_patterns(64, DataFormat::kFixed8, 21);
+  const auto inputs = random_patterns(64, DataFormat::kFixed8, 22);
+
+  std::uint64_t dot = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i)
+    dot += static_cast<std::uint64_t>(weights[i]) * inputs[i];
+
+  const auto perm = unit.hardware_order(weights);
+  const auto w_sorted = apply_permutation<std::uint32_t>(weights, perm);
+  const auto in_sorted = apply_permutation<std::uint32_t>(inputs, perm);
+
+  std::uint64_t dot_sorted = 0;
+  for (std::size_t i = 0; i < w_sorted.size(); ++i)
+    dot_sorted += static_cast<std::uint64_t>(w_sorted[i]) * in_sorted[i];
+  EXPECT_EQ(dot_sorted, dot);
+}
+
+TEST(OrderingUnitModel, SeparatedModeRecoversPairingThroughIndex) {
+  // O2: weights and inputs each hardware-sorted independently; the
+  // minimal-bit-width pairing index re-pairs them at the PE.
+  const OrderingUnitModel unit = unit_for(DataFormat::kFixed8);
+  const auto weights = random_patterns(48, DataFormat::kFixed8, 31);
+  const auto inputs = random_patterns(48, DataFormat::kFixed8, 32);
+
+  std::uint64_t dot = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i)
+    dot += static_cast<std::uint64_t>(weights[i]) * inputs[i];
+
+  const auto w_perm = unit.hardware_order(weights);
+  const auto in_perm = unit.hardware_order(inputs);
+  const auto w_sorted = apply_permutation<std::uint32_t>(weights, w_perm);
+  const auto in_sorted = apply_permutation<std::uint32_t>(inputs, in_perm);
+  const auto pair_index = separated_pairing_index(w_perm, in_perm);
+
+  std::uint64_t dot_recovered = 0;
+  for (std::size_t i = 0; i < w_sorted.size(); ++i)
+    dot_recovered +=
+        static_cast<std::uint64_t>(w_sorted[i]) * in_sorted[pair_index[i]];
+  EXPECT_EQ(dot_recovered, dot);
+}
+
+TEST(OrderingUnitModel, CycleModelShape) {
+  const OrderingUnitModel unit(
+      OrderingUnitConfig{.lanes = 16, .value_bits = 32, .popcount_stages = 2});
+  // <=1 value: just the pop-count pipeline.
+  EXPECT_EQ(unit.cycles_to_order(0), 2u);
+  EXPECT_EQ(unit.cycles_to_order(1), 2u);
+  // n values: pipeline depth + one transposition pass each.
+  EXPECT_EQ(unit.cycles_to_order(64), 2u + 64u);
+  EXPECT_EQ(unit.affiliated_cycles(64), unit.cycles_to_order(64));
+  // Separated ordering sorts twice (§V-C "double time consumption").
+  EXPECT_EQ(unit.separated_cycles(64), 2 * unit.cycles_to_order(64));
+  // Initiation: one flit-batch of `lanes` values per cycle.
+  EXPECT_EQ(unit.initiation_interval(0), 1u);
+  EXPECT_EQ(unit.initiation_interval(16), 1u);
+  EXPECT_EQ(unit.initiation_interval(17), 2u);
+  EXPECT_EQ(unit.separated_initiation_interval(17), 4u);
+  EXPECT_EQ(unit.comparators(), 8u);
+}
+
+}  // namespace
+}  // namespace nocbt::ordering
