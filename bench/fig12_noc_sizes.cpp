@@ -4,65 +4,90 @@
 // (512-bit links for float-32, 128-bit for fixed-8; 4 VCs, 4-flit buffers,
 // X-Y routing, §V-B).
 //
+// Since PR 2 this bench is a thin spec over the scenario campaign engine:
+// the grid {formats} x {O1, O2} x {meshes} expands into model-workload
+// scenarios executed on a worker pool (the runner measures the O0 baseline
+// inside each scenario), proving the campaign path reproduces a paper
+// figure end to end.
+//
 // Paper reference: affiliated 12.09-18.58% (float-32) / 7.88-17.75%
 // (fixed-8); separated 23.30-32.01% (float-32) / 16.95-35.93% (fixed-8);
 // the 8x8-MC4 configuration shows the largest absolute BT (most routers
 // per MC => most hops).
 
 #include <cstdio>
+#include <stdexcept>
 
-#include "accel/platform.h"
 #include "bench_util.h"
 #include "common/table.h"
+#include "sim/campaign.h"
 
 using namespace nocbt;
 using ordering::OrderingMode;
 
 namespace {
 
-struct MeshConfig {
-  const char* name;
-  std::int32_t rows, cols, mcs;
-};
+const sim::ScenarioResult& find_row(const sim::CampaignResult& result,
+                                    const std::string& name) {
+  for (const auto& row : result.rows)
+    if (row.spec.name == name) {
+      if (!row.error.empty())
+        throw std::runtime_error("scenario " + name + " failed: " + row.error);
+      return row;
+    }
+  throw std::runtime_error("scenario " + name + " missing from campaign");
+}
 
 }  // namespace
 
 int main() {
   std::puts("=== Fig. 12: BTs across different NoC sizes (full LeNet inference) ===");
   std::puts("(training LeNet on the synthetic dataset...)\n");
-  auto model = benchutil::make_lenet_trained(42);
-  const auto input = benchutil::lenet_input(7);
+  // Warm the on-disk trained-weights cache serially so the campaign's
+  // worker threads all hit it instead of racing to train.
+  (void)benchutil::make_lenet_trained(42);
 
-  const MeshConfig meshes[] = {{"4x4 MC2", 4, 4, 2},
-                               {"8x8 MC4", 8, 8, 4},
-                               {"8x8 MC8", 8, 8, 8}};
-  const OrderingMode modes[] = {OrderingMode::kBaseline,
-                                OrderingMode::kAffiliated,
-                                OrderingMode::kSeparated};
+  sim::CampaignSpec camp;
+  camp.name = "fig12_noc_sizes";
+  camp.generators = {sim::GeneratorKind::kModel};
+  camp.formats = {DataFormat::kFloat32, DataFormat::kFixed8};
+  camp.modes = {OrderingMode::kAffiliated, OrderingMode::kSeparated};
+  camp.meshes = {{4, 4, 2}, {8, 8, 4}, {8, 8, 8}};
+  camp.windows = {0};  // model workloads have no synthetic ordering window
+  camp.base.model_seed = 42;
+  camp.base.input_seed = 7;
+  camp.hooks.model = [](std::uint64_t seed) {
+    return benchutil::make_lenet_trained(seed);
+  };
+  camp.hooks.input = [](std::uint64_t seed) {
+    return benchutil::lenet_input(seed);
+  };
+
+  sim::RunnerConfig runner;
+  runner.threads = 4;
+  const sim::CampaignResult result = sim::run_campaign(camp, runner);
 
   for (DataFormat format : {DataFormat::kFloat32, DataFormat::kFixed8}) {
     std::printf("--- %s (%u-bit links, 16 values/flit) ---\n",
                 to_string(format).c_str(), 16 * value_bits(format));
     AsciiTable table({"NoC", "O0 BT", "O1 BT", "O1 reduction", "O2 BT",
-                      "O2 reduction", "cycles (O0)"});
-    for (const auto& mesh : meshes) {
-      std::uint64_t bt[3] = {0, 0, 0};
-      std::uint64_t cycles0 = 0;
-      for (int m = 0; m < 3; ++m) {
-        accel::AccelConfig cfg = accel::AccelConfig::defaults(
-            format, modes[m], mesh.rows, mesh.cols, mesh.mcs);
-        accel::NocDnaPlatform platform(cfg, model);
-        const auto result = platform.run(input);
-        bt[m] = result.bt_total;
-        if (m == 0) cycles0 = result.total_cycles;
-      }
-      auto reduction = [&](int m) {
-        return format_percent(1.0 - static_cast<double>(bt[m]) /
-                                        static_cast<double>(bt[0]));
-      };
-      table.add_row({mesh.name, std::to_string(bt[0]), std::to_string(bt[1]),
-                     reduction(1), std::to_string(bt[2]), reduction(2),
-                     std::to_string(cycles0)});
+                      "O2 reduction", "cycles"});
+    for (const sim::MeshSpec& mesh : camp.meshes) {
+      const auto& o1 = find_row(
+          result, sim::scenario_name(sim::GeneratorKind::kModel, format,
+                                     OrderingMode::kAffiliated, mesh, 0));
+      const auto& o2 = find_row(
+          result, sim::scenario_name(sim::GeneratorKind::kModel, format,
+                                     OrderingMode::kSeparated, mesh, 0));
+      table.add_row({std::to_string(mesh.rows) + "x" +
+                         std::to_string(mesh.cols) + " MC" +
+                         std::to_string(mesh.mcs),
+                     std::to_string(o1.bt_baseline),
+                     std::to_string(o1.bt_ordered),
+                     format_percent(o1.reduction),
+                     std::to_string(o2.bt_ordered),
+                     format_percent(o2.reduction),
+                     std::to_string(o1.cycles)});
     }
     std::fputs(table.render().c_str(), stdout);
     std::puts("");

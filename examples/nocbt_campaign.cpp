@@ -1,0 +1,228 @@
+// nocbt_campaign: declarative scenario sweeps from the command line.
+//
+// Expands a parameter grid (generators x formats x modes x meshes x
+// windows x replicates) into scenarios, runs them on a thread pool (one
+// network per worker, deterministic per-scenario seeds), and reports an
+// ASCII table plus optional CSV / JSON files.
+//
+//   $ ./nocbt_campaign generators=uniform,hotspot formats=float32,fixed8
+//       modes=O0,O1,O2 meshes=4x4,8x8 windows=64 threads=4 json=report.json
+//   (one command line; wrapped here for readability)
+//
+// Every key can also come from a `config=FILE` key=value file (one pair
+// per line, '#' comments); explicit command-line arguments win. Use
+// `describe=1` to print the expanded scenario list without running it.
+
+#include <cstdio>
+#include <exception>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/rng.h"
+#include "dnn/models.h"
+#include "dnn/synthetic_data.h"
+#include "sim/campaign.h"
+
+using namespace nocbt;
+
+namespace {
+
+std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    if (comma == std::string::npos) {
+      if (start < csv.size()) out.push_back(csv.substr(start));
+      break;
+    }
+    if (comma > start) out.push_back(csv.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+/// get_int with a range gate, so a negative or absurd value fails with a
+/// clear message instead of wrapping through an unsigned cast.
+std::int64_t get_bounded(const Options& opts, const std::string& key,
+                         std::int64_t fallback, std::int64_t lo,
+                         std::int64_t hi) {
+  const std::int64_t v = opts.get_int(key, fallback);
+  if (v < lo || v > hi)
+    throw std::invalid_argument("option '" + key + "' must be in [" +
+                                std::to_string(lo) + ", " +
+                                std::to_string(hi) + "], got " +
+                                std::to_string(v));
+  return v;
+}
+
+/// Reject unknown keys so a typo ('generator=', 'packts=') fails loudly
+/// instead of silently running the sweep with defaults.
+void check_known_keys(const Options& opts) {
+  static const std::set<std::string> known{
+      "config",   "name",       "seed",        "replicates", "generators",
+      "formats",  "modes",      "meshes",      "windows",    "packets",
+      "rate",     "vcs",        "vc_depth",    "slots",      "dist",
+      "dist_a",   "dist_b",     "hotspot_fraction",          "hotspot_node",
+      "burst_len", "burst_gap", "trace",       "model_seed", "input_seed",
+      "max_cycles", "threads",  "progress",    "describe",   "csv",
+      "json"};
+  for (const auto& [key, value] : opts.values())
+    if (known.count(key) == 0)
+      throw std::invalid_argument("unknown option '" + key +
+                                  "' (see the header comment for the knobs)");
+}
+
+sim::CampaignSpec build_campaign(const Options& opts) {
+  sim::CampaignSpec camp;
+  camp.name = opts.get_string("name", "campaign");
+  camp.root_seed = static_cast<std::uint64_t>(opts.get_int("seed", 42));
+  camp.replicates =
+      static_cast<std::uint32_t>(get_bounded(opts, "replicates", 1, 1, 1024));
+
+  camp.generators.clear();
+  for (const auto& g : split_list(opts.get_string("generators", "uniform")))
+    camp.generators.push_back(sim::parse_generator_kind(g));
+  camp.formats.clear();
+  for (const auto& f : split_list(opts.get_string("formats", "float32,fixed8")))
+    camp.formats.push_back(parse_data_format(f));
+  camp.modes.clear();
+  for (const auto& m : split_list(opts.get_string("modes", "O0,O1,O2")))
+    camp.modes.push_back(ordering::parse_ordering_mode(m));
+  camp.meshes.clear();
+  for (const auto& m : split_list(opts.get_string("meshes", "4x4")))
+    camp.meshes.push_back(sim::parse_mesh_spec(m));
+  camp.windows.clear();
+  for (const auto& w : split_list(opts.get_string("windows", "64"))) {
+    std::size_t pos = 0;
+    long long parsed = -1;
+    try {
+      parsed = std::stoll(w, &pos);
+    } catch (const std::exception&) {
+      pos = 0;
+    }
+    if (pos != w.size() || parsed < 0 || parsed > 1'000'000)
+      throw std::invalid_argument("windows entry '" + w +
+                                  "' is not in [0, 1000000]");
+    camp.windows.push_back(static_cast<std::uint32_t>(parsed));
+  }
+
+  sim::ScenarioSpec& base = camp.base;
+  base.packets =
+      static_cast<std::uint32_t>(get_bounded(opts, "packets", 128, 1, 100'000'000));
+  base.injection_rate = opts.get_double("rate", 0.25);
+  base.num_vcs = static_cast<std::int32_t>(get_bounded(opts, "vcs", 4, 1, 64));
+  base.vc_buffer_depth =
+      static_cast<std::int32_t>(get_bounded(opts, "vc_depth", 4, 1, 1024));
+  base.values_per_flit =
+      static_cast<unsigned>(get_bounded(opts, "slots", 16, 2, 4096));
+  base.value_dist = sim::parse_value_dist(opts.get_string("dist", "laplace"));
+  base.dist_a = opts.get_double("dist_a", base.value_dist ==
+                                                  sim::ValueDist::kUniform
+                                              ? -1.0
+                                              : 0.0);
+  base.dist_b = opts.get_double("dist_b",
+                                base.value_dist == sim::ValueDist::kUniform
+                                    ? 1.0
+                                    : 0.2);
+  base.hotspot_fraction = opts.get_double("hotspot_fraction", 0.5);
+  base.hotspot_node = static_cast<std::int32_t>(
+      get_bounded(opts, "hotspot_node", -1, -1, 1 << 24));
+  base.burst_len = static_cast<std::uint32_t>(
+      get_bounded(opts, "burst_len", 8, 1, 1'000'000));
+  base.burst_gap = static_cast<std::uint32_t>(
+      get_bounded(opts, "burst_gap", 64, 0, 1'000'000'000));
+  base.trace_path = opts.get_string("trace", "");
+  base.model_seed = static_cast<std::uint64_t>(opts.get_int("model_seed", 42));
+  base.input_seed = static_cast<std::uint64_t>(opts.get_int("input_seed", 7));
+  base.max_cycles = static_cast<std::uint64_t>(get_bounded(
+      opts, "max_cycles", 5'000'000, 1, std::int64_t{1} << 62));
+
+  // Model workload: a small trained-like LeNet (no training — the weight
+  // distribution is what matters for BT). Heavyweight trained models go
+  // through the library API instead (see bench/fig12_noc_sizes.cpp).
+  camp.hooks.model = [](std::uint64_t seed) {
+    Rng rng(seed);
+    dnn::Sequential model = dnn::build_lenet(rng);
+    Rng fill_rng(seed + 1);
+    dnn::fill_weights_trained_like(model, fill_rng, 0.04);
+    return model;
+  };
+  camp.hooks.input = [](std::uint64_t seed) {
+    dnn::SyntheticDataset data(dnn::SyntheticDataset::Config{}, seed);
+    return data.sample(1).images;
+  };
+  return camp;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    Options opts = Options::parse(argc, argv);
+    if (opts.has("config")) {
+      opts.merge_defaults(Options::parse_file(opts.get_string("config", "")));
+    }
+    check_known_keys(opts);
+
+    const sim::CampaignSpec camp = build_campaign(opts);
+    const auto scenarios = camp.expand();
+    if (scenarios.empty())
+      throw std::invalid_argument(
+          "campaign expanded to 0 scenarios — check for an empty grid list "
+          "(generators/formats/modes/meshes/windows) or replicates=0");
+    std::printf("campaign '%s': %zu scenarios (root seed %llu)\n",
+                camp.name.c_str(), scenarios.size(),
+                static_cast<unsigned long long>(camp.root_seed));
+
+    if (opts.get_bool("describe", false)) {
+      for (const auto& s : scenarios)
+        std::printf("  %-32s seed=%llu packets=%u rate=%.3f\n",
+                    s.name.c_str(), static_cast<unsigned long long>(s.seed),
+                    s.packets, s.injection_rate);
+      return 0;
+    }
+
+    sim::RunnerConfig runner;
+    runner.threads =
+        static_cast<unsigned>(get_bounded(opts, "threads", 4, 1, 1024));
+    if (opts.get_bool("progress", true)) {
+      runner.on_result = [](const sim::ScenarioResult& row, std::size_t done,
+                            std::size_t total) {
+        std::printf("  [%zu/%zu] %-32s %s\n", done, total,
+                    row.spec.name.c_str(),
+                    row.error.empty() ? "ok" : row.error.c_str());
+        std::fflush(stdout);
+      };
+    }
+
+    const sim::CampaignResult result = sim::run_campaign(camp, runner);
+    std::fputs(sim::render_table(result).c_str(), stdout);
+
+    const std::string csv_path = opts.get_string("csv", "");
+    if (!csv_path.empty()) {
+      sim::write_csv_report(csv_path, camp, result);
+      std::printf("wrote CSV report to %s\n", csv_path.c_str());
+    }
+    const std::string json_path = opts.get_string("json", "");
+    if (!json_path.empty()) {
+      sim::write_json_report(json_path, camp, result);
+      std::printf("wrote JSON report to %s\n", json_path.c_str());
+    }
+
+    std::size_t failed = 0;
+    for (const auto& row : result.rows)
+      if (!row.error.empty()) ++failed;
+    if (failed > 0) {
+      std::printf("%zu of %zu scenarios failed\n", failed, result.rows.size());
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "nocbt_campaign: %s\n", e.what());
+    return 2;
+  }
+}

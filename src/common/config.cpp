@@ -1,5 +1,6 @@
 #include "common/config.h"
 
+#include <fstream>
 #include <stdexcept>
 
 namespace nocbt {
@@ -14,6 +15,40 @@ Options Options::parse(int argc, char** argv) {
     opts.values_[arg.substr(0, eq)] = arg.substr(eq + 1);
   }
   return opts;
+}
+
+Options Options::parse_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in)
+    throw std::runtime_error("Options::parse_file: cannot open " + path);
+
+  const auto trim = [](std::string s) {
+    const auto first = s.find_first_not_of(" \t\r");
+    if (first == std::string::npos) return std::string();
+    const auto last = s.find_last_not_of(" \t\r");
+    return s.substr(first, last - first + 1);
+  };
+
+  Options opts;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string entry = trim(line);
+    if (entry.empty() || entry[0] == '#') continue;
+    const auto eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0)
+      throw std::invalid_argument("Options::parse_file: " + path + ":" +
+                                  std::to_string(lineno) +
+                                  ": expected key=value, got '" + entry + "'");
+    opts.values_[trim(entry.substr(0, eq))] = trim(entry.substr(eq + 1));
+  }
+  return opts;
+}
+
+void Options::merge_defaults(const Options& defaults) {
+  for (const auto& [key, value] : defaults.values_)
+    values_.emplace(key, value);
 }
 
 std::string Options::get_string(const std::string& key,

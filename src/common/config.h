@@ -19,6 +19,16 @@ class Options {
   /// Parse from argv[1..argc-1].
   static Options parse(int argc, char** argv);
 
+  /// Parse a config file with one `key=value` per line. Blank lines and
+  /// lines starting with '#' are skipped; CRLF endings and surrounding
+  /// whitespace are tolerated. Throws std::runtime_error on a missing file
+  /// and std::invalid_argument on a malformed line.
+  static Options parse_file(const std::string& path);
+
+  /// Adopt every key of `defaults` that this Options does not set yet —
+  /// the CLI merge rule: explicit arguments override the config file.
+  void merge_defaults(const Options& defaults);
+
   [[nodiscard]] bool has(const std::string& key) const {
     return values_.count(key) != 0;
   }

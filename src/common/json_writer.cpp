@@ -1,0 +1,154 @@
+#include "common/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace nocbt {
+
+std::string JsonWriter::escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::before_value() {
+  if (done_) throw std::logic_error("JsonWriter: document already complete");
+  if (!stack_.empty() && stack_.back() == Frame::kObject && !key_pending_)
+    throw std::logic_error("JsonWriter: object member needs a key first");
+  if (need_comma_ && !key_pending_) out_ += ',';
+  key_pending_ = false;
+}
+
+void JsonWriter::open(Frame frame, char bracket) {
+  before_value();
+  out_ += bracket;
+  stack_.push_back(frame);
+  need_comma_ = false;
+}
+
+void JsonWriter::close(Frame frame, char bracket) {
+  if (stack_.empty() || stack_.back() != frame)
+    throw std::logic_error("JsonWriter: mismatched container close");
+  if (key_pending_)
+    throw std::logic_error("JsonWriter: key without a value");
+  stack_.pop_back();
+  out_ += bracket;
+  need_comma_ = true;
+  if (stack_.empty()) done_ = true;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  open(Frame::kObject, '{');
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  close(Frame::kObject, '}');
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  open(Frame::kArray, '[');
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  close(Frame::kArray, ']');
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  if (done_) throw std::logic_error("JsonWriter: document already complete");
+  if (stack_.empty() || stack_.back() != Frame::kObject)
+    throw std::logic_error("JsonWriter: key() outside an object");
+  if (key_pending_) throw std::logic_error("JsonWriter: key after key");
+  if (need_comma_) out_ += ',';
+  out_ += '"';
+  out_ += escape(name);
+  out_ += "\":";
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  before_value();
+  out_ += '"';
+  out_ += escape(text);
+  out_ += '"';
+  need_comma_ = true;
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+  before_value();
+  out_ += b ? "true" : "false";
+  need_comma_ = true;
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+  need_comma_ = true;
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+  need_comma_ = true;
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  if (!std::isfinite(v)) return null();
+  before_value();
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out_ += buf;
+  need_comma_ = true;
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  out_ += "null";
+  need_comma_ = true;
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+std::string JsonWriter::take() {
+  if (!done_ || !stack_.empty())
+    throw std::logic_error("JsonWriter: document incomplete");
+  done_ = false;
+  need_comma_ = false;
+  return std::move(out_);
+}
+
+}  // namespace nocbt

@@ -1,0 +1,69 @@
+#pragma once
+// Minimal streaming JSON writer for machine-readable reports (the campaign
+// runner's scenario sweeps). Build-only — there is deliberately no parser;
+// reports are consumed by external tooling, not read back by the simulator.
+//
+//   JsonWriter json;
+//   json.begin_object()
+//       .key("campaign").value("smoke")
+//       .key("scenarios").begin_array() ... .end_array()
+//       .end_object();
+//   std::string text = json.take();
+//
+// Misuse (a value where a key is required, unbalanced end_*, taking an
+// unfinished document) throws std::logic_error so report-shape bugs fail
+// loudly in tests instead of producing silently invalid JSON.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nocbt {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Member name inside an object; must be followed by exactly one value
+  /// (or container).
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+  JsonWriter& value(bool b);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+  /// Doubles render with enough digits to round-trip (%.17g); NaN and
+  /// infinities have no JSON spelling and render as null.
+  JsonWriter& value(double v);
+  JsonWriter& null();
+
+  /// Finished document. Throws std::logic_error if containers are still
+  /// open or nothing was written.
+  [[nodiscard]] std::string take();
+
+  /// JSON string escaping (quotes, backslash, control characters); other
+  /// bytes pass through untouched, so UTF-8 text stays UTF-8.
+  [[nodiscard]] static std::string escape(std::string_view text);
+
+ private:
+  enum class Frame : std::uint8_t { kObject, kArray };
+
+  void before_value();
+  void open(Frame frame, char bracket);
+  void close(Frame frame, char bracket);
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  bool key_pending_ = false;   // key() emitted, value not yet written
+  bool need_comma_ = false;    // a sibling precedes the next element
+  bool done_ = false;          // top-level value completed
+};
+
+}  // namespace nocbt

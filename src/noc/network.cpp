@@ -78,15 +78,27 @@ void Network::set_sink(std::int32_t node, PacketSink sink) {
 
 std::uint64_t Network::inject(std::int32_t src, std::int32_t dst,
                               std::vector<BitVec> payloads) {
-  if (src < 0 || src >= shape_.node_count() || dst < 0 ||
-      dst >= shape_.node_count())
-    throw std::invalid_argument("Network::inject: node out of range");
+  const std::int32_t nodes = shape_.node_count();
+  if (src < 0 || src >= nodes)
+    throw std::invalid_argument("Network::inject: src node " +
+                                std::to_string(src) + " outside mesh of " +
+                                std::to_string(nodes) + " nodes");
+  if (dst < 0 || dst >= nodes)
+    throw std::invalid_argument("Network::inject: dst node " +
+                                std::to_string(dst) + " outside mesh of " +
+                                std::to_string(nodes) + " nodes");
+  if (src == dst && !cfg_.allow_self_traffic)
+    throw std::invalid_argument(
+        "Network::inject: src == dst (" + std::to_string(src) +
+        ") but NocConfig::allow_self_traffic is off");
   if (payloads.empty())
     throw std::invalid_argument("Network::inject: packet needs >= 1 flit");
-  for (const auto& p : payloads) {
-    if (p.width() != cfg_.flit_payload_bits)
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    if (payloads[i].width() != cfg_.flit_payload_bits)
       throw std::invalid_argument(
-          "Network::inject: payload width != flit_payload_bits");
+          "Network::inject: payload " + std::to_string(i) + " is " +
+          std::to_string(payloads[i].width()) + " bits wide, link carries " +
+          std::to_string(cfg_.flit_payload_bits));
   }
   Packet packet;
   packet.id = next_packet_id_++;
@@ -105,6 +117,13 @@ void Network::step() {
   for (auto& ni : nis_) ni.step(cycle_);
   for (auto& router : routers_) router.step(cycle_);
   ++cycle_;
+  stats_.cycles = cycle_;
+}
+
+void Network::advance_idle(std::uint64_t cycles) {
+  if (!idle())
+    throw std::logic_error("Network::advance_idle: network is not idle");
+  cycle_ += cycles;
   stats_.cycles = cycle_;
 }
 

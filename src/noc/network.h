@@ -53,6 +53,13 @@ class Network {
   /// network drained.
   bool run_until_idle(std::uint64_t max_cycles = 10'000'000);
 
+  /// Advance the clock by `cycles` without stepping any component. Only
+  /// legal while idle (throws std::logic_error otherwise): wires hold
+  /// their state and no event can occur, so the jump is observationally
+  /// exact — it lets sparse injection schedules skip dead time instead of
+  /// grinding through millions of no-op steps.
+  void advance_idle(std::uint64_t cycles);
+
   /// True when all routers, NIs and channels are empty.
   [[nodiscard]] bool idle() const noexcept;
 

@@ -27,6 +27,11 @@ struct NocConfig {
   unsigned channel_latency = 1;      ///< link traversal cycles
   RoutingAlgorithm routing = RoutingAlgorithm::kXY;
   BtScopeConfig bt_scope;
+  /// Accept src == dst packets (NI -> router local port -> NI loopback).
+  /// Synthetic traffic patterns usually want these rejected at injection so
+  /// a misconfigured generator fails loudly instead of inflating delivery
+  /// counts with zero-hop traffic.
+  bool allow_self_traffic = true;
 
   /// Throws std::invalid_argument on an unusable configuration.
   void validate() const {

@@ -1,0 +1,429 @@
+#include "sim/campaign.h"
+
+#include <atomic>
+#include <cctype>
+#include <fstream>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "accel/accel_config.h"
+#include "accel/flitization.h"
+#include "accel/platform.h"
+#include "common/csv.h"
+#include "common/json_writer.h"
+#include "common/table.h"
+#include "noc/network.h"
+#include "ordering/ordering.h"
+#include "sim/traffic_gen.h"
+
+namespace nocbt::sim {
+
+namespace {
+
+/// SplitMix64 finalizer: spreads (root seed, grid index) into independent
+/// per-scenario seeds. Depends only on the scenario's grid position, never
+/// on worker scheduling.
+std::uint64_t derive_seed(std::uint64_t root, std::uint64_t index) {
+  std::uint64_t z = root + 0x9E3779B97F4A7C15ull * (index + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::string short_format(DataFormat format) {
+  return format == DataFormat::kFloat32 ? "fp32" : "fx8";
+}
+
+std::string short_mode(ordering::OrderingMode mode) {
+  switch (mode) {
+    case ordering::OrderingMode::kBaseline: return "O0";
+    case ordering::OrderingMode::kAffiliated: return "O1";
+    case ordering::OrderingMode::kSeparated: return "O2";
+  }
+  return "?";
+}
+
+/// Flitize one request under the given ordering mode: encode order, pack
+/// half-half (weights right, inputs left, no bias — pure traffic).
+std::vector<BitVec> build_payloads(const InjectionRequest& req,
+                                   DataFormat format,
+                                   const accel::FlitLayout& layout,
+                                   ordering::OrderingMode mode) {
+  using ordering::apply_permutation;
+  using ordering::popcount_descending_order;
+  std::span<const std::uint32_t> weights(req.weights);
+  std::span<const std::uint32_t> inputs(req.inputs);
+  std::vector<std::uint32_t> w_store;
+  std::vector<std::uint32_t> in_store;
+  switch (mode) {
+    case ordering::OrderingMode::kBaseline:
+      break;
+    case ordering::OrderingMode::kAffiliated: {
+      const auto perm = popcount_descending_order(weights, format);
+      w_store = apply_permutation(weights, std::span<const std::uint32_t>(perm));
+      in_store = apply_permutation(inputs, std::span<const std::uint32_t>(perm));
+      weights = w_store;
+      inputs = in_store;
+      break;
+    }
+    case ordering::OrderingMode::kSeparated: {
+      const auto w_perm = popcount_descending_order(weights, format);
+      const auto in_perm = popcount_descending_order(inputs, format);
+      w_store =
+          apply_permutation(weights, std::span<const std::uint32_t>(w_perm));
+      in_store =
+          apply_permutation(inputs, std::span<const std::uint32_t>(in_perm));
+      weights = w_store;
+      inputs = in_store;
+      break;
+    }
+  }
+  return accel::pack_half_half(inputs, weights, std::nullopt, layout);
+}
+
+/// Everything one network run yields.
+struct VariantOutcome {
+  std::uint64_t bt = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t flits = 0;
+  std::uint64_t peak_backlog = 0;
+  double avg_latency = 0.0;
+  double avg_hops = 0.0;
+  bool drained = false;
+};
+
+/// Drive a synthetic generator's schedule through a fresh network with the
+/// payload ordering of `mode`.
+VariantOutcome run_traffic_variant(const ScenarioSpec& spec,
+                                   ordering::OrderingMode mode) {
+  noc::Network net(spec.noc_config());
+  const std::int32_t nodes = spec.rows * spec.cols;
+  for (std::int32_t node = 0; node < nodes; ++node)
+    net.set_sink(node, nullptr);  // stats-only sink
+
+  const accel::FlitLayout layout{spec.values_per_flit, value_bits(spec.format)};
+  auto gen = make_generator(spec);
+  auto pending = gen->next();
+
+  VariantOutcome out;
+  // The stall guard counts *active* steps, not the absolute clock: idle
+  // gaps in a sparse schedule are skipped via advance_idle, so a bursty or
+  // replayed workload with long quiet periods cannot trip it.
+  std::uint64_t active_steps = 0;
+  while (pending || !net.idle()) {
+    if (active_steps > spec.max_cycles) return out;  // drained stays false
+    if (pending && pending->cycle > net.cycle() && net.idle()) {
+      net.advance_idle(pending->cycle - net.cycle());
+    }
+    while (pending && pending->cycle <= net.cycle()) {
+      net.inject(pending->src, pending->dst,
+                 build_payloads(*pending, spec.format, layout, mode));
+      pending = gen->next();
+    }
+    net.step();
+    ++active_steps;
+    std::uint64_t backlog = 0;
+    for (std::int32_t node = 0; node < nodes; ++node)
+      backlog += net.injection_backlog(node);
+    if (backlog > out.peak_backlog) out.peak_backlog = backlog;
+  }
+
+  out.bt = net.bt().total();
+  out.cycles = net.cycle();
+  out.packets = net.stats().packets_delivered;
+  out.flits = net.stats().flits_delivered;
+  out.avg_latency = net.stats().packet_latency.mean();
+  out.avg_hops = net.stats().packet_hops.mean();
+  out.drained = true;
+  return out;
+}
+
+/// Full DNN inference through the accelerator platform (model workloads).
+VariantOutcome run_model_variant(const ScenarioSpec& spec,
+                                 ordering::OrderingMode mode,
+                                 const ModelHooks& hooks) {
+  if (!hooks.model || !hooks.input)
+    throw std::invalid_argument(
+        "run_scenario: model workload needs CampaignSpec::hooks");
+  accel::AccelConfig cfg = accel::AccelConfig::defaults(
+      spec.format, mode, spec.rows, spec.cols, spec.num_mcs);
+  cfg.noc.num_vcs = spec.num_vcs;
+  cfg.noc.vc_buffer_depth = spec.vc_buffer_depth;
+  dnn::Sequential model = hooks.model(spec.model_seed);
+  accel::NocDnaPlatform platform(cfg, model);
+  const accel::InferenceResult result = platform.run(hooks.input(spec.input_seed));
+
+  VariantOutcome out;
+  out.bt = result.bt_total;
+  out.cycles = result.total_cycles;
+  out.packets = result.noc_stats.packets_delivered;
+  out.flits = result.noc_stats.flits_delivered;
+  out.avg_latency = result.noc_stats.packet_latency.mean();
+  out.avg_hops = result.noc_stats.packet_hops.mean();
+  out.drained = true;
+  return out;
+}
+
+VariantOutcome run_variant(const ScenarioSpec& spec,
+                           ordering::OrderingMode mode,
+                           const ModelHooks& hooks) {
+  return spec.generator == GeneratorKind::kModel
+             ? run_model_variant(spec, mode, hooks)
+             : run_traffic_variant(spec, mode);
+}
+
+}  // namespace
+
+MeshSpec parse_mesh_spec(const std::string& s) {
+  // "<rows>x<cols>[mc<count>]", e.g. "4x4" or "8x8mc4".
+  const auto bad = [&]() -> std::invalid_argument {
+    return std::invalid_argument("parse_mesh_spec: expected RxC[mcN], got '" +
+                                 s + "'");
+  };
+  std::size_t pos = 0;
+  const auto read_int = [&]() -> std::int32_t {
+    if (pos >= s.size() || !std::isdigit(static_cast<unsigned char>(s[pos])))
+      throw bad();
+    std::int32_t v = 0;
+    while (pos < s.size() && std::isdigit(static_cast<unsigned char>(s[pos]))) {
+      v = v * 10 + (s[pos] - '0');
+      if (v > 4096) throw bad();  // keeps rows*cols safely inside int32
+      ++pos;
+    }
+    return v;
+  };
+  MeshSpec mesh;
+  mesh.rows = read_int();
+  if (pos >= s.size() || (s[pos] != 'x' && s[pos] != 'X')) throw bad();
+  ++pos;
+  mesh.cols = read_int();
+  if (pos != s.size()) {
+    if (s.compare(pos, 2, "mc") != 0 && s.compare(pos, 2, "MC") != 0)
+      throw bad();
+    pos += 2;
+    mesh.mcs = read_int();
+    if (pos != s.size()) throw bad();
+  }
+  return mesh;
+}
+
+std::string to_string(const MeshSpec& mesh) {
+  return std::to_string(mesh.rows) + "x" + std::to_string(mesh.cols) +
+         (mesh.mcs != 2 ? "mc" + std::to_string(mesh.mcs) : std::string());
+}
+
+std::string scenario_name(GeneratorKind generator, DataFormat format,
+                          ordering::OrderingMode mode, const MeshSpec& mesh,
+                          std::uint32_t window) {
+  return to_string(generator) + "/" + short_format(format) + "/" +
+         short_mode(mode) + "/" + std::to_string(mesh.rows) + "x" +
+         std::to_string(mesh.cols) + "mc" + std::to_string(mesh.mcs) + "/w" +
+         std::to_string(window);
+}
+
+std::vector<ScenarioSpec> CampaignSpec::expand() const {
+  std::vector<ScenarioSpec> out;
+  std::uint64_t index = 0;
+  for (const GeneratorKind gen : generators)
+    for (const DataFormat fmt : formats)
+      for (const ordering::OrderingMode mode : modes)
+        for (const MeshSpec& mesh : meshes)
+          for (const std::uint32_t window : windows)
+            for (std::uint32_t rep = 0; rep < replicates; ++rep) {
+              ScenarioSpec spec = base;
+              spec.generator = gen;
+              spec.format = fmt;
+              spec.mode = mode;
+              spec.rows = mesh.rows;
+              spec.cols = mesh.cols;
+              spec.num_mcs = mesh.mcs;
+              spec.window = window;
+              spec.seed = derive_seed(root_seed, index);
+              spec.name = scenario_name(gen, fmt, mode, mesh, window);
+              if (replicates > 1) spec.name += "/r" + std::to_string(rep);
+              out.push_back(std::move(spec));
+              ++index;
+            }
+  return out;
+}
+
+bool operator==(const ScenarioResult& a, const ScenarioResult& b) {
+  return a.spec.name == b.spec.name && a.spec.seed == b.spec.seed &&
+         a.bt_baseline == b.bt_baseline && a.bt_ordered == b.bt_ordered &&
+         a.reduction == b.reduction && a.cycles == b.cycles &&
+         a.packets == b.packets && a.flits == b.flits &&
+         a.peak_backlog == b.peak_backlog &&
+         a.avg_latency == b.avg_latency && a.avg_hops == b.avg_hops &&
+         a.drained == b.drained && a.error == b.error;
+}
+
+ScenarioResult run_scenario(const ScenarioSpec& spec, const ModelHooks& hooks) {
+  ScenarioResult result;
+  result.spec = spec;
+  try {
+    spec.validate();
+    const VariantOutcome baseline =
+        run_variant(spec, ordering::OrderingMode::kBaseline, hooks);
+    const VariantOutcome ordered =
+        spec.mode == ordering::OrderingMode::kBaseline
+            ? baseline
+            : run_variant(spec, spec.mode, hooks);
+    result.bt_baseline = baseline.bt;
+    result.bt_ordered = ordered.bt;
+    result.reduction =
+        baseline.bt > 0 ? 1.0 - static_cast<double>(ordered.bt) /
+                                    static_cast<double>(baseline.bt)
+                        : 0.0;
+    result.cycles = ordered.cycles;
+    result.packets = ordered.packets;
+    result.flits = ordered.flits;
+    result.peak_backlog = ordered.peak_backlog;
+    result.avg_latency = ordered.avg_latency;
+    result.avg_hops = ordered.avg_hops;
+    result.drained = baseline.drained && ordered.drained;
+    if (!result.drained) result.error = "hit max_cycles before draining";
+  } catch (const std::exception& e) {
+    result.error = e.what();
+  }
+  return result;
+}
+
+CampaignResult run_campaign(const CampaignSpec& spec,
+                            const RunnerConfig& runner) {
+  const std::vector<ScenarioSpec> scenarios = spec.expand();
+  CampaignResult result;
+  result.rows.resize(scenarios.size());
+
+  std::atomic<std::size_t> next{0};
+  std::size_t done = 0;  // guarded by report_mutex
+  std::mutex report_mutex;
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= scenarios.size()) return;
+      result.rows[i] = run_scenario(scenarios[i], spec.hooks);
+      if (runner.on_result) {
+        // done is incremented under the same lock as the callback so the
+        // reported counts never regress.
+        const std::lock_guard<std::mutex> lock(report_mutex);
+        runner.on_result(result.rows[i], ++done, scenarios.size());
+      }
+    }
+  };
+
+  const std::size_t want = runner.threads < 1 ? 1 : runner.threads;
+  const std::size_t pool =
+      scenarios.size() < want ? (scenarios.empty() ? 1 : scenarios.size())
+                              : want;
+  if (pool <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(pool);
+    for (std::size_t t = 0; t < pool; ++t) threads.emplace_back(worker);
+    for (auto& t : threads) t.join();
+  }
+  return result;
+}
+
+std::string render_table(const CampaignResult& result) {
+  AsciiTable table({"scenario", "O0 BT", "ordered BT", "reduction", "cycles",
+                    "flits", "backlog", "status"});
+  for (const ScenarioResult& row : result.rows) {
+    if (!row.error.empty() && !row.drained && row.cycles == 0 &&
+        row.bt_baseline == 0) {
+      table.add_row({row.spec.name, "-", "-", "-", "-", "-", "-",
+                     "error: " + row.error});
+      continue;
+    }
+    table.add_row({row.spec.name, std::to_string(row.bt_baseline),
+                   std::to_string(row.bt_ordered),
+                   format_percent(row.reduction), std::to_string(row.cycles),
+                   std::to_string(row.flits), std::to_string(row.peak_backlog),
+                   row.drained ? "ok" : "stalled"});
+  }
+  return table.render();
+}
+
+std::size_t write_csv_report(const std::string& path,
+                             const CampaignSpec& campaign,
+                             const CampaignResult& result) {
+  (void)campaign;
+  CsvWriter csv(path,
+                {"scenario", "generator", "format", "mode", "rows", "cols",
+                 "window", "seed", "bt_baseline", "bt_ordered", "reduction",
+                 "cycles", "packets", "flits", "peak_backlog", "avg_latency",
+                 "avg_hops", "drained", "error"});
+  for (const ScenarioResult& row : result.rows) {
+    const ScenarioSpec& s = row.spec;
+    csv.add_row({s.name, to_string(s.generator), to_string(s.format),
+                 ordering::to_string(s.mode), std::to_string(s.rows),
+                 std::to_string(s.cols), std::to_string(s.window),
+                 std::to_string(s.seed), std::to_string(row.bt_baseline),
+                 std::to_string(row.bt_ordered),
+                 format_double(row.reduction, 6), std::to_string(row.cycles),
+                 std::to_string(row.packets), std::to_string(row.flits),
+                 std::to_string(row.peak_backlog),
+                 format_double(row.avg_latency, 3),
+                 format_double(row.avg_hops, 3), row.drained ? "1" : "0",
+                 row.error});
+  }
+  return csv.rows_written();
+}
+
+std::string json_report(const CampaignSpec& campaign,
+                        const CampaignResult& result) {
+  JsonWriter json;
+  json.begin_object()
+      .key("campaign").value(campaign.name)
+      .key("root_seed").value(std::to_string(campaign.root_seed))
+      .key("scenario_count").value(static_cast<std::uint64_t>(result.rows.size()))
+      .key("scenarios").begin_array();
+  for (const ScenarioResult& row : result.rows) {
+    const ScenarioSpec& s = row.spec;
+    json.begin_object()
+        .key("name").value(s.name)
+        .key("generator").value(to_string(s.generator))
+        .key("format").value(to_string(s.format))
+        .key("mode").value(ordering::to_string(s.mode))
+        .key("rows").value(static_cast<std::int64_t>(s.rows))
+        .key("cols").value(static_cast<std::int64_t>(s.cols))
+        .key("window").value(static_cast<std::uint64_t>(s.window))
+        // As a string: 64-bit seeds exceed the 2^53 exact-integer range of
+        // double-based JSON consumers (jq, JavaScript) and would round.
+        .key("seed").value(std::to_string(s.seed))
+        .key("bt_baseline").value(row.bt_baseline)
+        .key("bt_ordered").value(row.bt_ordered)
+        .key("reduction").value(row.reduction)
+        .key("cycles").value(row.cycles)
+        .key("packets").value(row.packets)
+        .key("flits").value(row.flits)
+        .key("peak_backlog").value(row.peak_backlog)
+        .key("avg_latency").value(row.avg_latency)
+        .key("avg_hops").value(row.avg_hops)
+        .key("drained").value(row.drained);
+    json.key("error");
+    if (row.error.empty())
+      json.null();
+    else
+      json.value(row.error);
+    json.end_object();
+  }
+  json.end_array().end_object();
+  return json.take();
+}
+
+void write_json_report(const std::string& path, const CampaignSpec& campaign,
+                       const CampaignResult& result) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out)
+    throw std::runtime_error("write_json_report: cannot open " + path);
+  out << json_report(campaign, result) << '\n';
+  if (!out)
+    throw std::runtime_error("write_json_report: write failed for " + path);
+}
+
+}  // namespace nocbt::sim

@@ -1,0 +1,148 @@
+#pragma once
+// Campaign runner: parameter-grid expansion over scenarios, a simple
+// fixed-pool parallel executor, and report generation (ASCII table, CSV,
+// JSON).
+//
+// A CampaignSpec is the cross product
+//   generators x formats x modes x meshes x windows x replicates
+// over a base ScenarioSpec that supplies every non-grid knob. Each expanded
+// scenario gets a deterministic seed derived from the campaign root seed
+// and its position in the grid, so results are bit-identical regardless of
+// how many worker threads execute the sweep — each worker owns a private
+// noc::Network and scenarios never share mutable state.
+//
+// Every scenario is measured twice through identical injection schedules:
+// once with O0 (baseline) payload ordering and once with the scenario's
+// ordering mode, yielding the BT reduction the paper reports. The baseline
+// is deliberately re-measured inside each scenario rather than cached
+// across mode rows of a grid point: scenarios stay self-contained (no
+// cross-worker coupling), which is what makes an N-thread sweep
+// byte-identical to a serial one. Model
+// scenarios run full inferences through NocDnaPlatform instead, which is
+// how bench/fig12_noc_sizes reproduces its paper figure through this
+// engine.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dnn/sequential.h"
+#include "dnn/tensor.h"
+#include "sim/scenario.h"
+
+namespace nocbt::sim {
+
+/// One mesh geometry of the grid (MC count only matters for kModel).
+struct MeshSpec {
+  std::int32_t rows = 4;
+  std::int32_t cols = 4;
+  std::int32_t mcs = 2;
+};
+
+/// Parse "4x4", "8x8mc4" (case-insensitive 'x'/"mc"). Throws on junk and
+/// on dimensions beyond 4096 (the node count must fit comfortably in
+/// int32 arithmetic).
+[[nodiscard]] MeshSpec parse_mesh_spec(const std::string& s);
+[[nodiscard]] std::string to_string(const MeshSpec& mesh);
+
+/// The canonical scenario name for one grid point, e.g.
+/// "uniform/fx8/O2/4x4mc2/w64". Every grid axis appears — even axes the
+/// workload ignores — so names are unique across an expansion (expand()
+/// additionally appends "/rN" when replicates > 1). Consumers that look
+/// rows up by name (bench/fig12_noc_sizes) build names through this
+/// helper rather than re-deriving the layout.
+[[nodiscard]] std::string scenario_name(GeneratorKind generator,
+                                        DataFormat format,
+                                        ordering::OrderingMode mode,
+                                        const MeshSpec& mesh,
+                                        std::uint32_t window);
+
+/// Hooks for model workloads: build the (trained) model / the inference
+/// input for a seed. Called once per scenario run, possibly concurrently —
+/// factories must be safe to invoke from multiple threads.
+struct ModelHooks {
+  std::function<dnn::Sequential(std::uint64_t seed)> model;
+  std::function<dnn::Tensor(std::uint64_t seed)> input;
+};
+
+/// Declarative sweep description.
+struct CampaignSpec {
+  std::string name = "campaign";
+  std::uint64_t root_seed = 42;
+
+  std::vector<GeneratorKind> generators{GeneratorKind::kUniform};
+  std::vector<DataFormat> formats{DataFormat::kFloat32};
+  std::vector<ordering::OrderingMode> modes{
+      ordering::OrderingMode::kSeparated};
+  std::vector<MeshSpec> meshes{MeshSpec{}};
+  std::vector<std::uint32_t> windows{64};
+  std::uint32_t replicates = 1;  ///< independent seeds per grid point
+
+  ScenarioSpec base;  ///< non-grid knobs (traffic volume, distribution, ...)
+  ModelHooks hooks;   ///< required iff generators contains kModel
+
+  /// The fully-expanded, deterministically-seeded scenario list, in grid
+  /// order (generator-major, replicate-minor).
+  [[nodiscard]] std::vector<ScenarioSpec> expand() const;
+};
+
+/// Measurements of one scenario. `error` is non-empty when the scenario
+/// threw (the campaign keeps going; the row reports the failure).
+struct ScenarioResult {
+  ScenarioSpec spec;
+  std::uint64_t bt_baseline = 0;  ///< in-scope BT under O0 ordering
+  std::uint64_t bt_ordered = 0;   ///< in-scope BT under spec.mode
+  double reduction = 0.0;         ///< 1 - ordered/baseline (0 when baseline 0)
+  std::uint64_t cycles = 0;       ///< drain time of the ordered run
+  std::uint64_t packets = 0;      ///< packets delivered (ordered run)
+  std::uint64_t flits = 0;        ///< flits delivered (ordered run)
+  std::uint64_t peak_backlog = 0; ///< max total source-queue depth observed
+  double avg_latency = 0.0;
+  double avg_hops = 0.0;
+  bool drained = false;           ///< false = hit the max_cycles stall guard
+  std::string error;
+};
+
+[[nodiscard]] bool operator==(const ScenarioResult& a, const ScenarioResult& b);
+
+struct CampaignResult {
+  std::vector<ScenarioResult> rows;  ///< same order as CampaignSpec::expand()
+};
+
+struct RunnerConfig {
+  unsigned threads = 1;
+  /// Invoked after each scenario completes (serialized by the runner, so
+  /// the callback needs no locking of its own).
+  std::function<void(const ScenarioResult&, std::size_t done,
+                     std::size_t total)>
+      on_result;
+};
+
+/// Run one already-expanded scenario (both ordering variants).
+[[nodiscard]] ScenarioResult run_scenario(const ScenarioSpec& spec,
+                                          const ModelHooks& hooks);
+
+/// Expand and execute the whole grid on `threads` workers.
+[[nodiscard]] CampaignResult run_campaign(const CampaignSpec& spec,
+                                          const RunnerConfig& runner = {});
+
+/// Render results as the repo's standard ASCII table.
+[[nodiscard]] std::string render_table(const CampaignResult& result);
+
+/// Write one CSV row per scenario via common/csv. Returns rows written.
+std::size_t write_csv_report(const std::string& path,
+                             const CampaignSpec& campaign,
+                             const CampaignResult& result);
+
+/// Machine-readable report: campaign metadata + one JSON object per
+/// scenario. Deliberately excludes wall-clock and thread-count fields so
+/// the report is byte-identical for identical specs at any parallelism.
+[[nodiscard]] std::string json_report(const CampaignSpec& campaign,
+                                      const CampaignResult& result);
+
+/// json_report straight to a file. Throws std::runtime_error on I/O failure.
+void write_json_report(const std::string& path, const CampaignSpec& campaign,
+                       const CampaignResult& result);
+
+}  // namespace nocbt::sim

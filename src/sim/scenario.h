@@ -1,0 +1,90 @@
+#pragma once
+// Declarative scenario description for the campaign engine.
+//
+// A ScenarioSpec is one fully-resolved point of an evaluation grid: which
+// traffic generator, on which mesh, in which data format, under which
+// transmission ordering, with how much traffic, from which seed. Specs are
+// plain values — cheap to copy, trivially hashable into names, and safe to
+// hand to worker threads.
+
+#include <cstdint>
+#include <string>
+
+#include "common/data_format.h"
+#include "noc/noc_config.h"
+#include "ordering/ordering.h"
+
+namespace nocbt::sim {
+
+/// Workload families the engine can synthesize.
+enum class GeneratorKind : std::uint8_t {
+  kUniform,        ///< uniform-random src/dst pairs
+  kTranspose,      ///< (r, c) -> (c, r); diagonal nodes stay silent
+  kBitComplement,  ///< node i -> node (N-1) - i
+  kHotspot,        ///< a fraction of traffic converges on one node
+  kBurst,          ///< on/off bursts of uniform-random traffic
+  kReplay,         ///< re-inject a recorded PacketTrace CSV
+  kModel,          ///< full DNN inference through NocDnaPlatform
+};
+
+[[nodiscard]] std::string to_string(GeneratorKind kind);
+[[nodiscard]] GeneratorKind parse_generator_kind(const std::string& s);
+
+/// Payload value distributions (drawn per value, then codec-encoded).
+enum class ValueDist : std::uint8_t {
+  kUniform,  ///< uniform real in [a, b]
+  kNormal,   ///< normal(mean = a, stddev = b)
+  kLaplace,  ///< Laplace(0, b): trained-DNN-like, heavy at zero
+};
+
+[[nodiscard]] std::string to_string(ValueDist dist);
+[[nodiscard]] ValueDist parse_value_dist(const std::string& s);
+
+/// One point of the evaluation grid.
+struct ScenarioSpec {
+  std::string name;  ///< unique within a campaign (set by expansion)
+
+  GeneratorKind generator = GeneratorKind::kUniform;
+  std::int32_t rows = 4;
+  std::int32_t cols = 4;
+  std::int32_t num_vcs = 4;
+  std::int32_t vc_buffer_depth = 4;
+  DataFormat format = DataFormat::kFloat32;
+  ordering::OrderingMode mode = ordering::OrderingMode::kBaseline;
+  unsigned values_per_flit = 16;  ///< slots per flit (even; paper: 16)
+  unsigned fixed_bits = 8;        ///< quantizer width for kFixed8
+
+  /// (weight, input) pairs per packet — the per-packet ordering window, in
+  /// pairs. Packet length is ceil(window / (values_per_flit / 2)) flits.
+  std::uint32_t window = 64;
+  std::uint32_t packets = 128;    ///< packets injected per scenario
+  double injection_rate = 0.25;   ///< mean packets per cycle, network-wide
+
+  ValueDist value_dist = ValueDist::kLaplace;
+  double dist_a = 0.0;  ///< uniform lo / normal mean (unused for laplace)
+  double dist_b = 0.2;  ///< uniform hi / normal stddev / laplace b
+
+  double hotspot_fraction = 0.5;   ///< kHotspot: share of traffic to the spot
+  std::int32_t hotspot_node = -1;  ///< -1 = mesh center
+  std::uint32_t burst_len = 8;     ///< kBurst: packets per burst
+  std::uint32_t burst_gap = 64;    ///< kBurst: idle cycles between bursts
+
+  std::string trace_path;          ///< kReplay: CSV from PacketTrace::dump_csv
+
+  std::int32_t num_mcs = 2;        ///< kModel: memory controllers
+  std::uint64_t model_seed = 42;   ///< kModel: model factory seed
+  std::uint64_t input_seed = 7;    ///< kModel: input factory seed
+
+  std::uint64_t seed = 1;          ///< derived per-scenario by expansion
+  std::uint64_t max_cycles = 5'000'000;  ///< per-variant stall guard
+
+  /// NoC configuration implied by the spec. Self-traffic is rejected for
+  /// synthetic patterns (none emits it, so it would indicate a generator
+  /// bug) and allowed for replay (a recorded trace may contain it).
+  [[nodiscard]] noc::NocConfig noc_config() const;
+
+  /// Throws std::invalid_argument on an unusable spec.
+  void validate() const;
+};
+
+}  // namespace nocbt::sim

@@ -1,0 +1,293 @@
+#include "sim/traffic_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "noc/trace.h"
+
+namespace nocbt::sim {
+
+namespace {
+
+/// Mean inter-arrival time implied by a network-wide packets/cycle rate.
+std::uint64_t draw_interarrival(Rng& rng, double rate) {
+  return static_cast<std::uint64_t>(rng.uniform(0.0, 2.0 / rate));
+}
+
+/// dst drawn uniformly from [0, nodes) \ {src}.
+std::int32_t draw_other_node(Rng& rng, std::int32_t nodes, std::int32_t src) {
+  auto d = static_cast<std::int32_t>(rng.uniform_int(0, nodes - 2));
+  if (d >= src) ++d;
+  return d;
+}
+
+/// Shared scaffolding: packet budget, clock, payload drawing.
+class SyntheticGenerator : public TrafficGenerator {
+ public:
+  explicit SyntheticGenerator(const ScenarioSpec& spec)
+      : spec_(spec), rng_(spec.seed), values_(spec) {}
+
+  std::optional<InjectionRequest> next() final {
+    if (emitted_ >= spec_.packets) return std::nullopt;
+    InjectionRequest req;
+    req.cycle = clock_;
+    pick_endpoints(req.src, req.dst);
+    req.weights = values_.draw_patterns(rng_, spec_.window);
+    req.inputs = values_.draw_patterns(rng_, spec_.window);
+    ++emitted_;
+    advance_clock();
+    return req;
+  }
+
+ protected:
+  /// Choose src/dst for the next packet (may use rng()).
+  virtual void pick_endpoints(std::int32_t& src, std::int32_t& dst) = 0;
+
+  /// Move the clock to the next packet's earliest injection cycle.
+  virtual void advance_clock() {
+    clock_ += draw_interarrival(rng_, spec_.injection_rate);
+  }
+
+  [[nodiscard]] const ScenarioSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] std::int32_t nodes() const noexcept {
+    return spec_.rows * spec_.cols;
+  }
+  [[nodiscard]] Rng& rng() noexcept { return rng_; }
+  std::uint64_t clock_ = 0;
+
+ private:
+  ScenarioSpec spec_;
+  Rng rng_;
+  ValueSource values_;
+  std::uint32_t emitted_ = 0;
+};
+
+class UniformGenerator final : public SyntheticGenerator {
+ public:
+  using SyntheticGenerator::SyntheticGenerator;
+  [[nodiscard]] std::string name() const override { return "uniform"; }
+
+ private:
+  void pick_endpoints(std::int32_t& src, std::int32_t& dst) override {
+    src = static_cast<std::int32_t>(rng().uniform_int(0, nodes() - 1));
+    dst = draw_other_node(rng(), nodes(), src);
+  }
+};
+
+/// Round-robins over the nodes that actually send under a fixed
+/// permutation pattern (transpose / bit-complement).
+class PermutationGenerator final : public SyntheticGenerator {
+ public:
+  PermutationGenerator(const ScenarioSpec& spec, bool transpose)
+      : SyntheticGenerator(spec), transpose_(transpose) {
+    for (std::int32_t node = 0; node < nodes(); ++node)
+      if (pattern_dst(node) != node) sources_.push_back(node);
+    if (sources_.empty())
+      throw std::invalid_argument(
+          "PermutationGenerator: every node maps to itself");
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return transpose_ ? "transpose" : "bitcomp";
+  }
+
+ private:
+  [[nodiscard]] std::int32_t pattern_dst(std::int32_t src) const {
+    if (!transpose_) return nodes() - 1 - src;
+    const std::int32_t r = src / spec().cols;
+    const std::int32_t c = src % spec().cols;
+    return c * spec().cols + r;
+  }
+
+  void pick_endpoints(std::int32_t& src, std::int32_t& dst) override {
+    src = sources_[cursor_];
+    dst = pattern_dst(src);
+    cursor_ = (cursor_ + 1) % sources_.size();
+  }
+
+  bool transpose_;
+  std::vector<std::int32_t> sources_;
+  std::size_t cursor_ = 0;
+};
+
+class HotspotGenerator final : public SyntheticGenerator {
+ public:
+  explicit HotspotGenerator(const ScenarioSpec& spec)
+      : SyntheticGenerator(spec),
+        hotspot_(spec.hotspot_node >= 0
+                     ? spec.hotspot_node
+                     : (spec.rows / 2) * spec.cols + spec.cols / 2) {}
+
+  [[nodiscard]] std::string name() const override { return "hotspot"; }
+
+ private:
+  void pick_endpoints(std::int32_t& src, std::int32_t& dst) override {
+    const bool to_spot = rng().flip(spec().hotspot_fraction);
+    if (to_spot) {
+      dst = hotspot_;
+      src = draw_other_node(rng(), nodes(), dst);
+    } else {
+      src = static_cast<std::int32_t>(rng().uniform_int(0, nodes() - 1));
+      dst = draw_other_node(rng(), nodes(), src);
+    }
+  }
+
+  std::int32_t hotspot_;
+};
+
+class BurstGenerator final : public SyntheticGenerator {
+ public:
+  using SyntheticGenerator::SyntheticGenerator;
+  [[nodiscard]] std::string name() const override { return "burst"; }
+
+ private:
+  void pick_endpoints(std::int32_t& src, std::int32_t& dst) override {
+    src = static_cast<std::int32_t>(rng().uniform_int(0, nodes() - 1));
+    dst = draw_other_node(rng(), nodes(), src);
+  }
+
+  void advance_clock() override {
+    // burst_len back-to-back packets, then burst_gap idle cycles.
+    if (++in_burst_ < spec().burst_len) {
+      ++clock_;
+    } else {
+      in_burst_ = 0;
+      clock_ += spec().burst_gap;
+    }
+  }
+
+  std::uint32_t in_burst_ = 0;
+};
+
+/// Re-injects a recorded PacketTrace: each event becomes one packet at its
+/// original inject_cycle with its original src/dst and flit count. Payload
+/// values are synthesized from the scenario's value distribution (traces
+/// record timing and geometry, not payload bits).
+class ReplayGenerator final : public TrafficGenerator {
+ public:
+  explicit ReplayGenerator(const ScenarioSpec& spec)
+      : spec_(spec), rng_(spec.seed), values_(spec) {
+    const noc::PacketTrace trace = noc::PacketTrace::load_csv(spec.trace_path);
+    events_ = trace.events();
+    std::stable_sort(events_.begin(), events_.end(),
+                     [](const noc::TraceEvent& a, const noc::TraceEvent& b) {
+                       return a.inject_cycle < b.inject_cycle;
+                     });
+    const std::int32_t nodes = spec.rows * spec.cols;
+    for (const auto& e : events_) {
+      if (e.src < 0 || e.src >= nodes || e.dst < 0 || e.dst >= nodes)
+        throw std::invalid_argument(
+            "ReplayGenerator: trace node outside the " +
+            std::to_string(spec.rows) + "x" + std::to_string(spec.cols) +
+            " mesh (packet " + std::to_string(e.packet_id) + ")");
+      if (e.num_flits < 1)
+        throw std::invalid_argument("ReplayGenerator: zero-flit packet " +
+                                    std::to_string(e.packet_id));
+    }
+  }
+
+  std::optional<InjectionRequest> next() override {
+    if (cursor_ >= events_.size()) return std::nullopt;
+    const noc::TraceEvent& e = events_[cursor_++];
+    InjectionRequest req;
+    req.cycle = e.inject_cycle;
+    req.src = e.src;
+    req.dst = e.dst;
+    // Exactly num_flits flits: half-half packing with no bias makes
+    // flits_needed(pairs) == ceil(pairs / half) == num_flits.
+    const std::size_t pairs =
+        static_cast<std::size_t>(e.num_flits) * (spec_.values_per_flit / 2);
+    req.weights = values_.draw_patterns(rng_, pairs);
+    req.inputs = values_.draw_patterns(rng_, pairs);
+    return req;
+  }
+
+  [[nodiscard]] std::string name() const override { return "replay"; }
+
+ private:
+  ScenarioSpec spec_;
+  Rng rng_;
+  ValueSource values_;
+  std::vector<noc::TraceEvent> events_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace
+
+ValueSource::ValueSource(const ScenarioSpec& spec)
+    : dist_(spec.value_dist),
+      dist_a_(spec.dist_a),
+      dist_b_(spec.dist_b),
+      codec_(accel::ValueCodec::float32()) {
+  if (dist_ == ValueDist::kUniform && !(dist_a_ < dist_b_))
+    throw std::invalid_argument("ValueSource: uniform needs dist_a < dist_b");
+  if (dist_ != ValueDist::kUniform && dist_b_ <= 0.0)
+    throw std::invalid_argument("ValueSource: scale (dist_b) must be > 0");
+  if (spec.format == DataFormat::kFixed8) {
+    // Fix the quantizer range from the distribution's practical support so
+    // every scenario of a campaign shares the same codec (no per-stream
+    // calibration — patterns must not depend on the drawn sample).
+    double range = 1.0;
+    switch (dist_) {
+      case ValueDist::kUniform:
+        range = std::max(std::fabs(dist_a_), std::fabs(dist_b_));
+        break;
+      case ValueDist::kNormal:
+        range = std::fabs(dist_a_) + 4.0 * dist_b_;
+        break;
+      case ValueDist::kLaplace:
+        range = 8.0 * dist_b_;
+        break;
+    }
+    if (range <= 0.0) range = 1.0;
+    const auto max_code = static_cast<double>((1 << (spec.fixed_bits - 1)) - 1);
+    codec_ = accel::ValueCodec::fixed(
+        FixedPointCodec(spec.fixed_bits, range / max_code));
+  }
+}
+
+std::uint32_t ValueSource::draw_pattern(Rng& rng) {
+  double v = 0.0;
+  switch (dist_) {
+    case ValueDist::kUniform: v = rng.uniform(dist_a_, dist_b_); break;
+    case ValueDist::kNormal: v = rng.normal(dist_a_, dist_b_); break;
+    case ValueDist::kLaplace: v = rng.laplace(dist_b_); break;
+  }
+  return codec_.encode(static_cast<float>(v));
+}
+
+std::vector<std::uint32_t> ValueSource::draw_patterns(Rng& rng,
+                                                      std::size_t count) {
+  std::vector<std::uint32_t> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(draw_pattern(rng));
+  return out;
+}
+
+std::unique_ptr<TrafficGenerator> make_generator(const ScenarioSpec& spec) {
+  spec.validate();
+  switch (spec.generator) {
+    case GeneratorKind::kUniform:
+      return std::make_unique<UniformGenerator>(spec);
+    case GeneratorKind::kTranspose:
+      return std::make_unique<PermutationGenerator>(spec, /*transpose=*/true);
+    case GeneratorKind::kBitComplement:
+      return std::make_unique<PermutationGenerator>(spec, /*transpose=*/false);
+    case GeneratorKind::kHotspot:
+      return std::make_unique<HotspotGenerator>(spec);
+    case GeneratorKind::kBurst:
+      return std::make_unique<BurstGenerator>(spec);
+    case GeneratorKind::kReplay:
+      return std::make_unique<ReplayGenerator>(spec);
+    case GeneratorKind::kModel:
+      break;
+  }
+  throw std::invalid_argument(
+      "make_generator: '" + to_string(spec.generator) +
+      "' is not a synthetic generator (model workloads run through "
+      "NocDnaPlatform in the campaign runner)");
+}
+
+}  // namespace nocbt::sim

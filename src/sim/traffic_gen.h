@@ -1,0 +1,74 @@
+#pragma once
+// Config-driven traffic generators: the workload half of the scenario
+// campaign engine. A TrafficGenerator turns a ScenarioSpec into a stream of
+// timed injection requests — (cycle, src, dst, weight/input value patterns)
+// — that the campaign runner flitizes (with O0/O1/O2 ordering applied) and
+// drives through a noc::Network.
+//
+// Geometry patterns are the classic NoC suite (uniform-random, transpose,
+// bit-complement, hotspot, bursty sources) plus a replay generator that
+// feeds a recorded PacketTrace (PacketTrace::load_csv) back through the
+// network — non-DNN traffic the accelerator pipeline cannot express.
+// Payload values are drawn from a configurable distribution and encoded
+// with the existing float-32 / fixed-point codecs, so the popcount profile
+// the ordering exploits is under experiment control.
+//
+// Determinism contract: a generator's output is a pure function of the
+// ScenarioSpec (including its seed). Cycles are non-decreasing.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "accel/value_codec.h"
+#include "common/rng.h"
+#include "sim/scenario.h"
+
+namespace nocbt::sim {
+
+/// One packet worth of traffic: inject at `cycle` (or as soon after as the
+/// source queue allows), carrying `pairs` (weight, input) value pairs.
+struct InjectionRequest {
+  std::uint64_t cycle = 0;
+  std::int32_t src = -1;
+  std::int32_t dst = -1;
+  std::vector<std::uint32_t> weights;  ///< wire patterns, natural order
+  std::vector<std::uint32_t> inputs;   ///< same length as weights
+};
+
+/// Pull-based generator interface. next() returns requests with
+/// non-decreasing cycles until the workload is exhausted.
+class TrafficGenerator {
+ public:
+  virtual ~TrafficGenerator() = default;
+  virtual std::optional<InjectionRequest> next() = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Draws payload values from the spec's distribution and encodes them to
+/// wire patterns with the format's codec (identity for float-32, Q-format
+/// quantization for fixed-8).
+class ValueSource {
+ public:
+  explicit ValueSource(const ScenarioSpec& spec);
+
+  [[nodiscard]] std::uint32_t draw_pattern(Rng& rng);
+  [[nodiscard]] std::vector<std::uint32_t> draw_patterns(Rng& rng,
+                                                         std::size_t count);
+
+ private:
+  ValueDist dist_;
+  double dist_a_;
+  double dist_b_;
+  accel::ValueCodec codec_;
+};
+
+/// Build the generator a scenario asks for. Throws std::invalid_argument on
+/// a spec the generator kind cannot satisfy (e.g. transpose on a
+/// non-square mesh, replay without a trace file).
+[[nodiscard]] std::unique_ptr<TrafficGenerator> make_generator(
+    const ScenarioSpec& spec);
+
+}  // namespace nocbt::sim

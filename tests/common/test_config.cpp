@@ -1,0 +1,67 @@
+// Tests for the key=value option parser, including the config-file loader
+// the campaign CLI builds its sweeps from.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+
+namespace nocbt {
+namespace {
+
+Options parse_args(std::initializer_list<const char*> args) {
+  std::vector<char*> argv{const_cast<char*>("prog")};
+  for (const char* a : args) argv.push_back(const_cast<char*>(a));
+  return Options::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Options, ParseFileReadsKeyValueLines) {
+  const std::string path = testing::TempDir() + "nocbt_options_basic.cfg";
+  std::ofstream(path) << "# campaign smoke sweep\n"
+                      << "generators = uniform,hotspot\n"
+                      << "\n"
+                      << "threads=2\n"
+                      << "  packets =  64  \n";
+  const Options opts = Options::parse_file(path);
+  EXPECT_EQ(opts.get_string("generators", ""), "uniform,hotspot");
+  EXPECT_EQ(opts.get_int("threads", 0), 2);
+  EXPECT_EQ(opts.get_int("packets", 0), 64);
+  EXPECT_FALSE(opts.has("missing"));
+}
+
+TEST(Options, ParseFileToleratesCrlf) {
+  const std::string path = testing::TempDir() + "nocbt_options_crlf.cfg";
+  std::ofstream(path) << "threads=8\r\n# comment\r\nseed=11\r\n";
+  const Options opts = Options::parse_file(path);
+  EXPECT_EQ(opts.get_int("threads", 0), 8);
+  EXPECT_EQ(opts.get_int("seed", 0), 11);
+}
+
+TEST(Options, ParseFileRejectsMalformedLine) {
+  const std::string path = testing::TempDir() + "nocbt_options_bad.cfg";
+  std::ofstream(path) << "threads\n";
+  EXPECT_THROW(Options::parse_file(path), std::invalid_argument);
+}
+
+TEST(Options, ParseFileMissingFileThrows) {
+  EXPECT_THROW(Options::parse_file("/nonexistent/dir/opts.cfg"),
+               std::runtime_error);
+}
+
+TEST(Options, MergeDefaultsPrefersExplicitValues) {
+  Options cli = parse_args({"threads=4", "json=out.json"});
+  const std::string path = testing::TempDir() + "nocbt_options_merge.cfg";
+  std::ofstream(path) << "threads=1\npackets=256\n";
+  cli.merge_defaults(Options::parse_file(path));
+  EXPECT_EQ(cli.get_int("threads", 0), 4);    // CLI wins
+  EXPECT_EQ(cli.get_int("packets", 0), 256);  // file fills the gap
+  EXPECT_EQ(cli.get_string("json", ""), "out.json");
+}
+
+}  // namespace
+}  // namespace nocbt

@@ -1,0 +1,120 @@
+// Tests for the minimal streaming JSON writer behind the campaign reports.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "common/json_writer.h"
+
+namespace nocbt {
+namespace {
+
+TEST(JsonWriter, EmptyObjectAndArray) {
+  EXPECT_EQ(JsonWriter().begin_object().end_object().take(), "{}");
+  EXPECT_EQ(JsonWriter().begin_array().end_array().take(), "[]");
+}
+
+TEST(JsonWriter, FlatObject) {
+  JsonWriter json;
+  json.begin_object()
+      .key("name").value("smoke")
+      .key("count").value(std::uint64_t{3})
+      .key("offset").value(std::int64_t{-7})
+      .key("ratio").value(0.5)
+      .key("ok").value(true)
+      .key("missing").null()
+      .end_object();
+  EXPECT_EQ(json.take(),
+            R"({"name":"smoke","count":3,"offset":-7,"ratio":0.5,"ok":true,"missing":null})");
+}
+
+TEST(JsonWriter, NestedContainers) {
+  JsonWriter json;
+  json.begin_object()
+      .key("rows").begin_array()
+      .begin_object().key("id").value(std::uint64_t{1}).end_object()
+      .begin_object().key("id").value(std::uint64_t{2}).end_object()
+      .end_array()
+      .key("tags").begin_array().value("a").value("b").end_array()
+      .end_object();
+  EXPECT_EQ(json.take(),
+            R"({"rows":[{"id":1},{"id":2}],"tags":["a","b"]})");
+}
+
+TEST(JsonWriter, TopLevelScalar) {
+  EXPECT_EQ(JsonWriter().value("alone").take(), R"("alone")");
+  EXPECT_EQ(JsonWriter().value(std::int64_t{42}).take(), "42");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  EXPECT_EQ(JsonWriter::escape("plain"), "plain");
+  EXPECT_EQ(JsonWriter::escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(JsonWriter::escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonWriter::escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(JsonWriter::escape(std::string_view("\x01", 1)), "\\u0001");
+  EXPECT_EQ(JsonWriter::escape("caf\xc3\xa9"), "caf\xc3\xa9");  // UTF-8 intact
+}
+
+TEST(JsonWriter, EscapesKeysAndValues) {
+  JsonWriter json;
+  json.begin_object().key("a\"b").value("c\nd").end_object();
+  EXPECT_EQ(json.take(), "{\"a\\\"b\":\"c\\nd\"}");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  JsonWriter json;
+  json.begin_array()
+      .value(std::numeric_limits<double>::quiet_NaN())
+      .value(std::numeric_limits<double>::infinity())
+      .value(1.25)
+      .end_array();
+  EXPECT_EQ(json.take(), "[null,null,1.25]");
+}
+
+TEST(JsonWriter, DoubleRoundTripsPrecision) {
+  JsonWriter json;
+  json.value(0.1234567890123456789);
+  const std::string text = json.take();
+  EXPECT_EQ(std::stod(text), 0.1234567890123456789);
+}
+
+TEST(JsonWriter, MisuseThrows) {
+  {
+    JsonWriter json;
+    json.begin_object();
+    EXPECT_THROW(json.value("no key"), std::logic_error);
+  }
+  {
+    JsonWriter json;
+    json.begin_array();
+    EXPECT_THROW(json.key("key in array"), std::logic_error);
+  }
+  {
+    JsonWriter json;
+    json.begin_object();
+    EXPECT_THROW(json.end_array(), std::logic_error);
+  }
+  {
+    JsonWriter json;
+    json.begin_object().key("a");
+    EXPECT_THROW(json.key("b"), std::logic_error);
+    EXPECT_THROW(json.end_object(), std::logic_error);  // dangling key
+  }
+  {
+    JsonWriter json;
+    json.begin_object();
+    EXPECT_THROW(json.take(), std::logic_error);  // unfinished document
+  }
+  {
+    JsonWriter json;
+    json.value(1.0);
+    EXPECT_THROW(json.value(2.0), std::logic_error);  // second top-level value
+  }
+}
+
+}  // namespace
+}  // namespace nocbt

@@ -5,6 +5,8 @@
 
 #include <cstdint>
 #include <map>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -89,6 +91,50 @@ TEST(Network, RejectsBadInput) {
                std::invalid_argument);
   EXPECT_THROW(net.inject(0, 1, {}), std::invalid_argument);
   EXPECT_THROW(net.inject(0, 1, make_payloads(32, 1, 4)),
+               std::invalid_argument);
+}
+
+TEST(Network, InjectErrorsAreDescriptive) {
+  Network net(small_config());
+  const auto message_of = [&](std::int32_t src, std::int32_t dst,
+                              std::vector<BitVec> payloads) {
+    try {
+      net.inject(src, dst, std::move(payloads));
+    } catch (const std::invalid_argument& e) {
+      return std::string(e.what());
+    }
+    return std::string();
+  };
+  // Offending node id and mesh size are named.
+  EXPECT_NE(message_of(-1, 0, make_payloads(64, 1, 4)).find("src node -1"),
+            std::string::npos);
+  EXPECT_NE(message_of(0, 99, make_payloads(64, 1, 4)).find("dst node 99"),
+            std::string::npos);
+  EXPECT_NE(message_of(0, 99, make_payloads(64, 1, 4)).find("16 nodes"),
+            std::string::npos);
+  // Width mismatch names the flit index and both widths.
+  auto mixed = make_payloads(64, 2, 4);
+  mixed.push_back(BitVec(32));
+  const std::string width_msg = message_of(0, 1, std::move(mixed));
+  EXPECT_NE(width_msg.find("payload 2"), std::string::npos);
+  EXPECT_NE(width_msg.find("32 bits"), std::string::npos);
+  EXPECT_NE(width_msg.find("64"), std::string::npos);
+}
+
+TEST(Network, SelfTrafficRejectedPerConfig) {
+  NocConfig cfg = small_config();
+  cfg.allow_self_traffic = false;
+  Network net(cfg);
+  EXPECT_THROW(net.inject(5, 5, make_payloads(64, 1, 3)),
+               std::invalid_argument);
+  // Distinct endpoints still work under the same config.
+  int count = 0;
+  net.set_sink(6, [&](Packet&&, std::uint64_t) { ++count; });
+  net.inject(5, 6, make_payloads(64, 1, 3));
+  ASSERT_TRUE(net.run_until_idle(1'000));
+  EXPECT_EQ(count, 1);
+  // Out-of-range checks fire before the self-traffic check.
+  EXPECT_THROW(net.inject(20, 20, make_payloads(64, 1, 3)),
                std::invalid_argument);
 }
 

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <fstream>
+#include <iterator>
 #include <stdexcept>
 #include <string>
 
@@ -56,6 +57,46 @@ TEST(PacketTrace, DumpLoadRoundTrip) {
   ASSERT_EQ(replayed.size(), trace.size());
   for (std::size_t i = 0; i < trace.size(); ++i)
     expect_events_equal(replayed.events()[i], trace.events()[i]);
+}
+
+TEST(PacketTrace, DumpLoadDumpIsByteStable) {
+  // dump -> load -> dump must reproduce the file byte for byte, proving
+  // the loader recovers *exactly* what the writer emitted (no lossy
+  // parsing, no reordering, no re-derived fields drifting).
+  const std::string path_a = testing::TempDir() + "nocbt_trace_stable_a.csv";
+  const std::string path_b = testing::TempDir() + "nocbt_trace_stable_b.csv";
+  PacketTrace trace;
+  for (std::uint64_t id = 0; id < 40; ++id) trace.record(make_event(id * 3));
+  trace.dump_csv(path_a);
+  PacketTrace::load_csv(path_a).dump_csv(path_b);
+
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  };
+  const std::string bytes = slurp(path_a);
+  ASSERT_FALSE(bytes.empty());
+  EXPECT_EQ(bytes, slurp(path_b));
+}
+
+TEST(PacketTrace, CrlfTraceRoundTripsThroughDump) {
+  // A foreign CRLF trace, loaded and re-dumped, loads again to the same
+  // events — CRLF tolerance composes with the round-trip guarantee.
+  const std::string crlf_path = testing::TempDir() + "nocbt_trace_crlf_rt.csv";
+  std::ofstream(crlf_path)
+      << "packet_id,src,dst,num_flits,inject_cycle,eject_cycle,latency,hops\r\n"
+      << "3,1,14,5,100,117,17,4\r\n"
+      << "4,2,13,1,101,110,9,3\r\n";
+  const PacketTrace loaded = PacketTrace::load_csv(crlf_path);
+  ASSERT_EQ(loaded.size(), 2u);
+
+  const std::string dumped_path = testing::TempDir() + "nocbt_trace_crlf_rt2.csv";
+  loaded.dump_csv(dumped_path);
+  const PacketTrace reloaded = PacketTrace::load_csv(dumped_path);
+  ASSERT_EQ(reloaded.size(), loaded.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i)
+    expect_events_equal(reloaded.events()[i], loaded.events()[i]);
 }
 
 TEST(PacketTrace, EmptyTraceRoundTrips) {

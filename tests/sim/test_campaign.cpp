@@ -1,0 +1,278 @@
+// Tests for the campaign engine: grid expansion, deterministic seeding,
+// thread-count invariance, ordering effectiveness, reports, and error
+// containment.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <limits>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "sim/campaign.h"
+
+namespace nocbt::sim {
+namespace {
+
+CampaignSpec small_campaign() {
+  CampaignSpec camp;
+  camp.name = "unit";
+  camp.root_seed = 99;
+  camp.generators = {GeneratorKind::kUniform, GeneratorKind::kHotspot};
+  camp.formats = {DataFormat::kFloat32, DataFormat::kFixed8};
+  camp.modes = {ordering::OrderingMode::kBaseline,
+                ordering::OrderingMode::kSeparated};
+  camp.meshes = {MeshSpec{4, 4, 2}};
+  camp.windows = {16};
+  camp.base.packets = 24;
+  camp.base.injection_rate = 0.5;
+  return camp;
+}
+
+TEST(MeshSpec, ParsesAndRejects) {
+  EXPECT_EQ(parse_mesh_spec("4x4").rows, 4);
+  EXPECT_EQ(parse_mesh_spec("4x4").cols, 4);
+  EXPECT_EQ(parse_mesh_spec("4x4").mcs, 2);  // default MC count
+  const MeshSpec m = parse_mesh_spec("8x8mc4");
+  EXPECT_EQ(m.rows, 8);
+  EXPECT_EQ(m.cols, 8);
+  EXPECT_EQ(m.mcs, 4);
+  EXPECT_EQ(parse_mesh_spec("2X3MC1").cols, 3);
+  EXPECT_THROW((void)parse_mesh_spec(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_mesh_spec("4"), std::invalid_argument);
+  EXPECT_THROW((void)parse_mesh_spec("4x"), std::invalid_argument);
+  EXPECT_THROW((void)parse_mesh_spec("4x4mc"), std::invalid_argument);
+  EXPECT_THROW((void)parse_mesh_spec("4x4xx2"), std::invalid_argument);
+  // Dimension cap guards rows*cols int32 arithmetic downstream.
+  EXPECT_THROW((void)parse_mesh_spec("100000x100000"), std::invalid_argument);
+}
+
+TEST(Campaign, ExpansionCoversTheGridDeterministically) {
+  const CampaignSpec camp = small_campaign();
+  const auto scenarios = camp.expand();
+  ASSERT_EQ(scenarios.size(), 2u * 2u * 2u * 1u * 1u);
+
+  std::set<std::string> names;
+  std::set<std::uint64_t> seeds;
+  for (const auto& s : scenarios) {
+    names.insert(s.name);
+    seeds.insert(s.seed);
+    EXPECT_EQ(s.packets, camp.base.packets);  // base knobs carried through
+  }
+  EXPECT_EQ(names.size(), scenarios.size()) << "scenario names must be unique";
+  EXPECT_EQ(seeds.size(), scenarios.size()) << "per-scenario seeds must differ";
+
+  const auto again = camp.expand();
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    EXPECT_EQ(scenarios[i].name, again[i].name);
+    EXPECT_EQ(scenarios[i].seed, again[i].seed);
+  }
+}
+
+TEST(Campaign, NamesStayUniqueAcrossIgnoredAxes) {
+  // mcs is meaningless for synthetic traffic and window for model
+  // workloads, but both must still appear in names or grid points that
+  // differ only on an ignored axis would collide.
+  CampaignSpec camp = small_campaign();
+  camp.generators = {GeneratorKind::kUniform, GeneratorKind::kModel};
+  camp.formats = {DataFormat::kFixed8};
+  camp.modes = {ordering::OrderingMode::kSeparated};
+  camp.meshes = {MeshSpec{4, 4, 2}, MeshSpec{4, 4, 4}};
+  camp.windows = {16, 32};
+  const auto scenarios = camp.expand();
+  std::set<std::string> names;
+  for (const auto& s : scenarios) names.insert(s.name);
+  EXPECT_EQ(names.size(), scenarios.size());
+}
+
+TEST(Campaign, ReplicatesGetDistinctSeeds) {
+  CampaignSpec camp = small_campaign();
+  camp.generators = {GeneratorKind::kUniform};
+  camp.formats = {DataFormat::kFixed8};
+  camp.modes = {ordering::OrderingMode::kSeparated};
+  camp.replicates = 3;
+  const auto scenarios = camp.expand();
+  ASSERT_EQ(scenarios.size(), 3u);
+  EXPECT_NE(scenarios[0].seed, scenarios[1].seed);
+  EXPECT_NE(scenarios[1].seed, scenarios[2].seed);
+  EXPECT_NE(scenarios[0].name, scenarios[1].name);  // /r0, /r1, /r2 suffixes
+}
+
+TEST(Campaign, BaselineModeShowsZeroReduction) {
+  CampaignSpec camp = small_campaign();
+  camp.generators = {GeneratorKind::kUniform};
+  camp.formats = {DataFormat::kFixed8};
+  camp.modes = {ordering::OrderingMode::kBaseline};
+  const auto result = run_campaign(camp);
+  ASSERT_EQ(result.rows.size(), 1u);
+  const ScenarioResult& row = result.rows[0];
+  EXPECT_TRUE(row.error.empty()) << row.error;
+  EXPECT_TRUE(row.drained);
+  EXPECT_EQ(row.bt_baseline, row.bt_ordered);
+  EXPECT_EQ(row.reduction, 0.0);
+  EXPECT_EQ(row.packets, 24u);
+  EXPECT_GT(row.bt_baseline, 0u);
+  EXPECT_GT(row.cycles, 0u);
+  EXPECT_GT(row.avg_hops, 0.0);
+}
+
+TEST(Campaign, OrderingReducesBtOnLaplaceFixed8) {
+  CampaignSpec camp = small_campaign();
+  camp.generators = {GeneratorKind::kUniform};
+  camp.formats = {DataFormat::kFixed8};
+  camp.modes = {ordering::OrderingMode::kSeparated};
+  camp.base.packets = 64;
+  // 64 pairs -> 8 flits per packet: enough within-packet transitions for
+  // the sort to win over the adverse sorted-tail -> sorted-head boundary
+  // between packets (a 2-flit packet is all boundary and can regress).
+  camp.windows = {64};
+  const auto result = run_campaign(camp);
+  ASSERT_EQ(result.rows.size(), 1u);
+  const ScenarioResult& row = result.rows[0];
+  ASSERT_TRUE(row.error.empty()) << row.error;
+  EXPECT_LT(row.bt_ordered, row.bt_baseline);
+  EXPECT_GT(row.reduction, 0.0);
+}
+
+TEST(Campaign, SparseScheduleFastForwardsIdleGaps) {
+  // burst_gap dwarfs max_cycles, but idle gaps are skipped (only active
+  // steps count toward the stall guard), so the scenario still drains.
+  CampaignSpec camp = small_campaign();
+  camp.generators = {GeneratorKind::kBurst};
+  camp.formats = {DataFormat::kFixed8};
+  camp.modes = {ordering::OrderingMode::kSeparated};
+  camp.base.packets = 16;
+  camp.base.burst_len = 4;
+  camp.base.burst_gap = 1'000'000;
+  camp.base.max_cycles = 20'000;
+  const auto result = run_campaign(camp);
+  ASSERT_EQ(result.rows.size(), 1u);
+  const ScenarioResult& row = result.rows[0];
+  EXPECT_TRUE(row.error.empty()) << row.error;
+  EXPECT_TRUE(row.drained);
+  EXPECT_EQ(row.packets, 16u);
+  EXPECT_GT(row.cycles, 3'000'000u);  // clock still reflects schedule time
+}
+
+TEST(Campaign, NanRateIsRejected) {
+  CampaignSpec camp = small_campaign();
+  camp.generators = {GeneratorKind::kUniform};
+  camp.formats = {DataFormat::kFixed8};
+  camp.modes = {ordering::OrderingMode::kBaseline};
+  camp.base.injection_rate = std::numeric_limits<double>::quiet_NaN();
+  const auto result = run_campaign(camp);
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_NE(result.rows[0].error.find("injection_rate"), std::string::npos)
+      << result.rows[0].error;
+}
+
+TEST(Campaign, ThreadCountDoesNotChangeResults) {
+  const CampaignSpec camp = small_campaign();
+  RunnerConfig serial;
+  serial.threads = 1;
+  RunnerConfig parallel;
+  parallel.threads = 4;
+  const CampaignResult a = run_campaign(camp, serial);
+  const CampaignResult b = run_campaign(camp, parallel);
+  ASSERT_EQ(a.rows.size(), b.rows.size());
+  for (std::size_t i = 0; i < a.rows.size(); ++i) {
+    EXPECT_TRUE(a.rows[i].error.empty()) << a.rows[i].error;
+    EXPECT_TRUE(a.rows[i] == b.rows[i]) << a.rows[i].spec.name;
+  }
+  // And the machine-readable reports are byte-identical.
+  EXPECT_EQ(json_report(camp, a), json_report(camp, b));
+}
+
+TEST(Campaign, OnResultSeesEveryScenario) {
+  const CampaignSpec camp = small_campaign();
+  RunnerConfig runner;
+  runner.threads = 2;
+  std::set<std::string> seen;
+  std::size_t total_seen = 0;
+  runner.on_result = [&](const ScenarioResult& row, std::size_t done,
+                         std::size_t total) {
+    seen.insert(row.spec.name);
+    total_seen = total;
+    EXPECT_LE(done, total);
+  };
+  const auto result = run_campaign(camp, runner);
+  EXPECT_EQ(seen.size(), result.rows.size());
+  EXPECT_EQ(total_seen, result.rows.size());
+}
+
+TEST(Campaign, BadScenarioIsContainedAsErrorRow) {
+  CampaignSpec camp = small_campaign();
+  camp.generators = {GeneratorKind::kReplay, GeneratorKind::kUniform};
+  camp.formats = {DataFormat::kFixed8};
+  camp.modes = {ordering::OrderingMode::kSeparated};
+  camp.base.trace_path = "/nonexistent/trace.csv";
+  const auto result = run_campaign(camp);
+  ASSERT_EQ(result.rows.size(), 2u);
+  EXPECT_FALSE(result.rows[0].error.empty());  // replay fails to load
+  EXPECT_TRUE(result.rows[1].error.empty());   // uniform still runs
+  EXPECT_GT(result.rows[1].bt_baseline, 0u);
+}
+
+TEST(Campaign, ModelWorkloadWithoutHooksFailsCleanly) {
+  CampaignSpec camp = small_campaign();
+  camp.generators = {GeneratorKind::kModel};
+  camp.formats = {DataFormat::kFixed8};
+  camp.modes = {ordering::OrderingMode::kAffiliated};
+  const auto result = run_campaign(camp);
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_NE(result.rows[0].error.find("hooks"), std::string::npos)
+      << result.rows[0].error;
+}
+
+TEST(Campaign, JsonReportIsWellFormedAndComplete) {
+  CampaignSpec camp = small_campaign();
+  camp.generators = {GeneratorKind::kUniform};
+  camp.formats = {DataFormat::kFixed8};
+  const auto result = run_campaign(camp);
+  const std::string json = json_report(camp, result);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"campaign\":\"unit\""), std::string::npos);
+  EXPECT_NE(json.find("\"root_seed\":\"99\""), std::string::npos);
+  for (const auto& row : result.rows) {
+    EXPECT_NE(json.find("\"name\":\"" + row.spec.name + "\""),
+              std::string::npos);
+    // Seeds are strings: 64-bit values exceed JSON's exact double range.
+    EXPECT_NE(
+        json.find("\"seed\":\"" + std::to_string(row.spec.seed) + "\""),
+        std::string::npos);
+  }
+  EXPECT_NE(json.find("\"error\":null"), std::string::npos);
+}
+
+TEST(Campaign, CsvAndJsonReportsHitDisk) {
+  CampaignSpec camp = small_campaign();
+  camp.generators = {GeneratorKind::kUniform};
+  camp.formats = {DataFormat::kFixed8};
+  camp.modes = {ordering::OrderingMode::kSeparated};
+  const auto result = run_campaign(camp);
+
+  const std::string csv_path = testing::TempDir() + "nocbt_campaign_unit.csv";
+  EXPECT_EQ(write_csv_report(csv_path, camp, result), result.rows.size());
+
+  const std::string json_path = testing::TempDir() + "nocbt_campaign_unit.json";
+  write_json_report(json_path, camp, result);
+  std::ifstream in(json_path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), json_report(camp, result) + "\n");
+}
+
+TEST(Campaign, RenderTableHasOneRowPerScenario) {
+  const CampaignSpec camp = small_campaign();
+  const auto result = run_campaign(camp, RunnerConfig{2, nullptr});
+  const std::string table = render_table(result);
+  for (const auto& row : result.rows)
+    EXPECT_NE(table.find(row.spec.name), std::string::npos) << row.spec.name;
+}
+
+}  // namespace
+}  // namespace nocbt::sim

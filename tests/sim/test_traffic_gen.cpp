@@ -1,0 +1,242 @@
+// Tests for the scenario traffic generators: determinism, geometry of each
+// pattern, timing, payload encoding, and the PacketTrace replay path.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "noc/trace.h"
+#include "sim/traffic_gen.h"
+
+namespace nocbt::sim {
+namespace {
+
+ScenarioSpec base_spec(GeneratorKind kind) {
+  ScenarioSpec spec;
+  spec.generator = kind;
+  spec.rows = 4;
+  spec.cols = 4;
+  spec.format = DataFormat::kFixed8;
+  spec.window = 16;
+  spec.packets = 200;
+  spec.injection_rate = 0.5;
+  spec.seed = 77;
+  return spec;
+}
+
+std::vector<InjectionRequest> drain(TrafficGenerator& gen) {
+  std::vector<InjectionRequest> out;
+  while (auto req = gen.next()) out.push_back(std::move(*req));
+  return out;
+}
+
+TEST(TrafficGen, DeterministicForFixedSeed) {
+  for (const GeneratorKind kind :
+       {GeneratorKind::kUniform, GeneratorKind::kTranspose,
+        GeneratorKind::kBitComplement, GeneratorKind::kHotspot,
+        GeneratorKind::kBurst}) {
+    const ScenarioSpec spec = base_spec(kind);
+    auto a = drain(*make_generator(spec));
+    auto b = drain(*make_generator(spec));
+    ASSERT_EQ(a.size(), b.size()) << to_string(kind);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].cycle, b[i].cycle) << to_string(kind) << " packet " << i;
+      EXPECT_EQ(a[i].src, b[i].src);
+      EXPECT_EQ(a[i].dst, b[i].dst);
+      EXPECT_EQ(a[i].weights, b[i].weights);
+      EXPECT_EQ(a[i].inputs, b[i].inputs);
+    }
+  }
+}
+
+TEST(TrafficGen, SeedChangesTheStream) {
+  ScenarioSpec spec = base_spec(GeneratorKind::kUniform);
+  auto a = drain(*make_generator(spec));
+  spec.seed = 78;
+  auto b = drain(*make_generator(spec));
+  ASSERT_EQ(a.size(), b.size());
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.size() && !any_difference; ++i)
+    any_difference = a[i].src != b[i].src || a[i].dst != b[i].dst ||
+                     a[i].weights != b[i].weights;
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(TrafficGen, RequestShapeAndTiming) {
+  const ScenarioSpec spec = base_spec(GeneratorKind::kUniform);
+  const auto reqs = drain(*make_generator(spec));
+  ASSERT_EQ(reqs.size(), spec.packets);
+  std::uint64_t prev_cycle = 0;
+  for (const auto& req : reqs) {
+    EXPECT_GE(req.cycle, prev_cycle);  // non-decreasing clock
+    prev_cycle = req.cycle;
+    EXPECT_GE(req.src, 0);
+    EXPECT_LT(req.src, 16);
+    EXPECT_GE(req.dst, 0);
+    EXPECT_LT(req.dst, 16);
+    EXPECT_NE(req.src, req.dst);
+    EXPECT_EQ(req.weights.size(), spec.window);
+    EXPECT_EQ(req.inputs.size(), spec.window);
+    for (const std::uint32_t pattern : req.weights)
+      EXPECT_EQ(pattern >> 8, 0u) << "fixed-8 pattern wider than 8 bits";
+  }
+}
+
+TEST(TrafficGen, TransposePairsNodes) {
+  const auto reqs = drain(*make_generator(base_spec(GeneratorKind::kTranspose)));
+  ASSERT_FALSE(reqs.empty());
+  for (const auto& req : reqs) {
+    const std::int32_t r = req.src / 4;
+    const std::int32_t c = req.src % 4;
+    EXPECT_EQ(req.dst, c * 4 + r);
+    EXPECT_NE(r, c) << "diagonal nodes must stay silent";
+  }
+}
+
+TEST(TrafficGen, TransposeNeedsSquareMesh) {
+  ScenarioSpec spec = base_spec(GeneratorKind::kTranspose);
+  spec.rows = 2;
+  spec.cols = 4;
+  EXPECT_THROW(make_generator(spec), std::invalid_argument);
+}
+
+TEST(TrafficGen, BitComplementMirrorsNodeIndex) {
+  const auto reqs =
+      drain(*make_generator(base_spec(GeneratorKind::kBitComplement)));
+  ASSERT_FALSE(reqs.empty());
+  for (const auto& req : reqs) EXPECT_EQ(req.dst, 15 - req.src);
+}
+
+TEST(TrafficGen, HotspotConcentratesTraffic) {
+  ScenarioSpec spec = base_spec(GeneratorKind::kHotspot);
+  spec.packets = 600;
+  spec.hotspot_fraction = 0.5;
+  const auto reqs = drain(*make_generator(spec));
+  std::map<std::int32_t, int> dst_count;
+  for (const auto& req : reqs) ++dst_count[req.dst];
+  const std::int32_t center = 2 * 4 + 2;  // default hotspot: mesh center
+  // ~50% of 600 packets target the hotspot; every other node splits the
+  // rest, so the hotspot must dominate by a wide margin.
+  EXPECT_GT(dst_count[center], 600 / 4);
+  for (const auto& [dst, count] : dst_count) {
+    if (dst != center) {
+      EXPECT_LT(count, dst_count[center] / 2) << dst;
+    }
+  }
+}
+
+TEST(TrafficGen, HotspotHonorsExplicitNode) {
+  ScenarioSpec spec = base_spec(GeneratorKind::kHotspot);
+  spec.hotspot_node = 3;
+  spec.hotspot_fraction = 1.0;
+  const auto reqs = drain(*make_generator(spec));
+  for (const auto& req : reqs) {
+    EXPECT_EQ(req.dst, 3);
+    EXPECT_NE(req.src, 3);
+  }
+}
+
+TEST(TrafficGen, BurstClustersInjections) {
+  ScenarioSpec spec = base_spec(GeneratorKind::kBurst);
+  spec.packets = 40;
+  spec.burst_len = 8;
+  spec.burst_gap = 100;
+  const auto reqs = drain(*make_generator(spec));
+  ASSERT_EQ(reqs.size(), 40u);
+  // Packets 0..7 sit one cycle apart, then a >= burst_gap jump, repeating.
+  for (std::size_t i = 1; i < reqs.size(); ++i) {
+    const std::uint64_t gap = reqs[i].cycle - reqs[i - 1].cycle;
+    if (i % 8 == 0)
+      EXPECT_GE(gap, 100u) << "packet " << i;
+    else
+      EXPECT_EQ(gap, 1u) << "packet " << i;
+  }
+}
+
+TEST(TrafficGen, ReplayFollowsTheTrace) {
+  const std::string path = testing::TempDir() + "nocbt_replay_gen.csv";
+  noc::PacketTrace trace;
+  for (std::uint64_t id = 0; id < 6; ++id) {
+    noc::TraceEvent e;
+    e.packet_id = id;
+    e.src = static_cast<std::int32_t>(id);
+    e.dst = static_cast<std::int32_t>(15 - id);
+    e.num_flits = static_cast<std::uint32_t>(1 + id % 3);
+    e.inject_cycle = 50 - id * 5;  // deliberately unsorted
+    e.eject_cycle = e.inject_cycle + 9;
+    e.hops = 2;
+    trace.record(e);
+  }
+  trace.dump_csv(path);
+
+  ScenarioSpec spec = base_spec(GeneratorKind::kReplay);
+  spec.trace_path = path;
+  const auto reqs = drain(*make_generator(spec));
+  ASSERT_EQ(reqs.size(), 6u);
+  std::uint64_t prev = 0;
+  for (const auto& req : reqs) {
+    EXPECT_GE(req.cycle, prev);  // generator re-sorts by inject cycle
+    prev = req.cycle;
+    // half-half packing: pairs per packet = num_flits * (slots / 2)
+    EXPECT_EQ(req.weights.size() % (spec.values_per_flit / 2), 0u);
+  }
+  EXPECT_EQ(reqs.front().src, 5);  // earliest inject_cycle came last in file
+}
+
+TEST(TrafficGen, ReplayRejectsTraceOutsideMesh) {
+  const std::string path = testing::TempDir() + "nocbt_replay_oob.csv";
+  noc::PacketTrace trace;
+  noc::TraceEvent e;
+  e.packet_id = 0;
+  e.src = 0;
+  e.dst = 63;  // valid in 8x8, not in 4x4
+  e.num_flits = 1;
+  e.inject_cycle = 0;
+  e.eject_cycle = 5;
+  e.hops = 1;
+  trace.record(e);
+  trace.dump_csv(path);
+
+  ScenarioSpec spec = base_spec(GeneratorKind::kReplay);
+  spec.trace_path = path;
+  EXPECT_THROW(make_generator(spec), std::invalid_argument);
+}
+
+TEST(TrafficGen, ReplayRequiresTracePath) {
+  EXPECT_THROW(make_generator(base_spec(GeneratorKind::kReplay)),
+               std::invalid_argument);
+}
+
+TEST(TrafficGen, ModelIsNotASyntheticGenerator) {
+  EXPECT_THROW(make_generator(base_spec(GeneratorKind::kModel)),
+               std::invalid_argument);
+}
+
+TEST(TrafficGen, Float32PatternsUseFullWidth) {
+  ScenarioSpec spec = base_spec(GeneratorKind::kUniform);
+  spec.format = DataFormat::kFloat32;
+  spec.packets = 4;
+  const auto reqs = drain(*make_generator(spec));
+  bool any_high_bits = false;
+  for (const auto& req : reqs)
+    for (const std::uint32_t pattern : req.weights)
+      any_high_bits = any_high_bits || (pattern >> 8) != 0;
+  EXPECT_TRUE(any_high_bits);  // IEEE-754 exponents live above bit 8
+}
+
+TEST(TrafficGen, NameRoundTrip) {
+  for (const GeneratorKind kind :
+       {GeneratorKind::kUniform, GeneratorKind::kTranspose,
+        GeneratorKind::kBitComplement, GeneratorKind::kHotspot,
+        GeneratorKind::kBurst, GeneratorKind::kReplay, GeneratorKind::kModel})
+    EXPECT_EQ(parse_generator_kind(to_string(kind)), kind);
+  EXPECT_THROW((void)parse_generator_kind("warp-drive"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nocbt::sim
