@@ -5,10 +5,13 @@
 // X-Y routing, §V-B).
 //
 // Since PR 2 this bench is a thin spec over the scenario campaign engine:
-// the grid {formats} x {O1, O2} x {meshes} expands into model-workload
+// the grid {formats} x {modes} x {meshes} expands into model-workload
 // scenarios executed on a worker pool (the runner measures the O0 baseline
 // inside each scenario), proving the campaign path reproduces a paper
-// figure end to end.
+// figure end to end. Any registered ordering strategy is sweepable:
+//
+//   $ ./fig12_noc_sizes                      # paper figure: O1, O2
+//   $ ./fig12_noc_sizes modes=O2,hybrid,chain,bucket
 //
 // Paper reference: affiliated 12.09-18.58% (float-32) / 7.88-17.75%
 // (fixed-8); separated 23.30-32.01% (float-32) / 16.95-35.93% (fixed-8);
@@ -17,8 +20,11 @@
 
 #include <cstdio>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
+#include "common/config.h"
 #include "common/table.h"
 #include "sim/campaign.h"
 
@@ -40,7 +46,11 @@ const sim::ScenarioResult& find_row(const sim::CampaignResult& result,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) try {
+  const Options opts = Options::parse(argc, argv);
+  const std::vector<OrderingMode> modes =
+      ordering::parse_ordering_mode_list(opts.get_string("modes", "O1,O2"));
+
   std::puts("=== Fig. 12: BTs across different NoC sizes (full LeNet inference) ===");
   std::puts("(training LeNet on the synthetic dataset...)\n");
   // Warm the on-disk trained-weights cache serially so the campaign's
@@ -51,7 +61,7 @@ int main() {
   camp.name = "fig12_noc_sizes";
   camp.generators = {sim::GeneratorKind::kModel};
   camp.formats = {DataFormat::kFloat32, DataFormat::kFixed8};
-  camp.modes = {OrderingMode::kAffiliated, OrderingMode::kSeparated};
+  camp.modes = modes;
   camp.meshes = {{4, 4, 2}, {8, 8, 4}, {8, 8, 8}};
   camp.windows = {0};  // model workloads have no synthetic ordering window
   camp.base.model_seed = 42;
@@ -64,30 +74,37 @@ int main() {
   };
 
   sim::RunnerConfig runner;
-  runner.threads = 4;
+  runner.threads = static_cast<unsigned>(opts.get_int("threads", 4));
   const sim::CampaignResult result = sim::run_campaign(camp, runner);
 
   for (DataFormat format : {DataFormat::kFloat32, DataFormat::kFixed8}) {
     std::printf("--- %s (%u-bit links, 16 values/flit) ---\n",
                 to_string(format).c_str(), 16 * value_bits(format));
-    AsciiTable table({"NoC", "O0 BT", "O1 BT", "O1 reduction", "O2 BT",
-                      "O2 reduction", "cycles"});
+    std::vector<std::string> headers{"NoC", "O0 BT"};
+    for (const OrderingMode mode : modes) {
+      const std::string key = ordering::short_mode_name(mode);
+      headers.push_back(key + " BT");
+      headers.push_back(key + " reduction");
+    }
+    headers.push_back("cycles");
+    AsciiTable table(headers);
     for (const sim::MeshSpec& mesh : camp.meshes) {
-      const auto& o1 = find_row(
-          result, sim::scenario_name(sim::GeneratorKind::kModel, format,
-                                     OrderingMode::kAffiliated, mesh, 0));
-      const auto& o2 = find_row(
-          result, sim::scenario_name(sim::GeneratorKind::kModel, format,
-                                     OrderingMode::kSeparated, mesh, 0));
-      table.add_row({std::to_string(mesh.rows) + "x" +
-                         std::to_string(mesh.cols) + " MC" +
-                         std::to_string(mesh.mcs),
-                     std::to_string(o1.bt_baseline),
-                     std::to_string(o1.bt_ordered),
-                     format_percent(o1.reduction),
-                     std::to_string(o2.bt_ordered),
-                     format_percent(o2.reduction),
-                     std::to_string(o1.cycles)});
+      std::vector<std::string> cells{std::to_string(mesh.rows) + "x" +
+                                     std::to_string(mesh.cols) + " MC" +
+                                     std::to_string(mesh.mcs)};
+      std::string cycles;
+      for (const OrderingMode mode : modes) {
+        const auto& row = find_row(
+            result, sim::scenario_name(sim::GeneratorKind::kModel, format,
+                                       mode, mesh, 0));
+        if (cells.size() == 1)
+          cells.push_back(std::to_string(row.bt_baseline));
+        cells.push_back(std::to_string(row.bt_ordered));
+        cells.push_back(format_percent(row.reduction));
+        if (cycles.empty()) cycles = std::to_string(row.cycles);
+      }
+      cells.push_back(cycles);
+      table.add_row(cells);
     }
     std::fputs(table.render().c_str(), stdout);
     std::puts("");
@@ -98,4 +115,7 @@ int main() {
   std::puts("Paper bands: O1 12.09-18.58% (f32) / 7.88-17.75% (fx8);");
   std::puts("             O2 23.30-32.01% (f32) / 16.95-35.93% (fx8).");
   return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "fig12_noc_sizes: %s\n", e.what());
+  return 2;
 }

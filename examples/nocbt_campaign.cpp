@@ -9,6 +9,11 @@
 //       modes=O0,O1,O2 meshes=4x4,8x8 windows=64 threads=4 json=report.json
 //   (one command line; wrapped here for readability)
 //
+// `modes=` accepts every registered ordering strategy in addition to the
+// paper's O0/O1/O2: `chain`, `hdchain`, `bucket`, `hybrid`, `twoflit`
+// (each applied with affiliated pairing — see src/ordering/strategy.h and
+// the README's "Ordering strategies" table).
+//
 // Every key can also come from a `config=FILE` key=value file (one pair
 // per line, '#' comments); explicit command-line arguments win. Use
 // `describe=1` to print the expanded scenario list without running it.
@@ -89,9 +94,8 @@ sim::CampaignSpec build_campaign(const Options& opts) {
   camp.formats.clear();
   for (const auto& f : split_list(opts.get_string("formats", "float32,fixed8")))
     camp.formats.push_back(parse_data_format(f));
-  camp.modes.clear();
-  for (const auto& m : split_list(opts.get_string("modes", "O0,O1,O2")))
-    camp.modes.push_back(ordering::parse_ordering_mode(m));
+  camp.modes =
+      ordering::parse_ordering_mode_list(opts.get_string("modes", "O0,O1,O2"));
   camp.meshes.clear();
   for (const auto& m : split_list(opts.get_string("meshes", "4x4")))
     camp.meshes.push_back(sim::parse_mesh_spec(m));

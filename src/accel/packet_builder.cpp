@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "common/bitops.h"
+#include "ordering/strategy.h"
 
 namespace nocbt::accel {
 
@@ -34,23 +35,15 @@ BuiltPacket build_task_packet(const NeuronTask& task,
   out.meta.mode = mode;
   out.meta.index_embedded = false;
 
-  switch (mode) {
-    case ordering::OrderingMode::kBaseline:
-      break;
-    case ordering::OrderingMode::kAffiliated: {
-      // Pairs move together, keyed on the weight's '1'-bit count.
-      const auto perm = ordering::popcount_descending_order(
+  if (!ordering::mode_is_baseline(mode)) {
+    // The mode's registered strategy supplies the permutation; O1 and O2
+    // resolve to the paper's popcount sort, the other modes to their own
+    // strategies (chain, bucket, hybrid, ...).
+    const ordering::OrderingStrategy& strategy = ordering::mode_strategy(mode);
+    if (ordering::mode_is_separated(mode)) {
+      const auto weight_perm = strategy.order(
           std::span<const std::uint32_t>(weight_patterns), format);
-      weight_patterns = ordering::apply_permutation(
-          std::span<const std::uint32_t>(weight_patterns), perm);
-      input_patterns = ordering::apply_permutation(
-          std::span<const std::uint32_t>(input_patterns), perm);
-      break;
-    }
-    case ordering::OrderingMode::kSeparated: {
-      const auto weight_perm = ordering::popcount_descending_order(
-          std::span<const std::uint32_t>(weight_patterns), format);
-      const auto input_perm = ordering::popcount_descending_order(
+      const auto input_perm = strategy.order(
           std::span<const std::uint32_t>(input_patterns), format);
       out.meta.pair_index =
           ordering::separated_pairing_index(weight_perm, input_perm);
@@ -58,7 +51,14 @@ BuiltPacket build_task_packet(const NeuronTask& task,
           std::span<const std::uint32_t>(weight_patterns), weight_perm);
       input_patterns = ordering::apply_permutation(
           std::span<const std::uint32_t>(input_patterns), input_perm);
-      break;
+    } else {
+      // Affiliated pairing: pairs move together, keyed on the weights.
+      const auto perm = strategy.order(
+          std::span<const std::uint32_t>(weight_patterns), format);
+      weight_patterns = ordering::apply_permutation(
+          std::span<const std::uint32_t>(weight_patterns), perm);
+      input_patterns = ordering::apply_permutation(
+          std::span<const std::uint32_t>(input_patterns), perm);
     }
   }
 

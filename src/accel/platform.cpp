@@ -210,12 +210,14 @@ InferenceResult NocDnaPlatform::run(const dnn::Tensor& input) {
             const auto n = static_cast<std::uint32_t>(tasks[t].weights.size());
             std::uint64_t latency = 0;
             std::uint64_t interval = 1;
-            if (config_.mode == ordering::OrderingMode::kAffiliated) {
-              latency = unit_model.affiliated_cycles(n);
-              interval = unit_model.initiation_interval(n);
-            } else if (config_.mode == ordering::OrderingMode::kSeparated) {
+            if (ordering::mode_is_separated(config_.mode)) {
               latency = unit_model.separated_cycles(n);
               interval = unit_model.separated_initiation_interval(n);
+            } else if (!ordering::mode_is_baseline(config_.mode)) {
+              // Every affiliated-pairing mode runs one pass through the
+              // unit (the cycle model abstracts over the sort circuit).
+              latency = unit_model.affiliated_cycles(n);
+              interval = unit_model.initiation_interval(n);
             }
             const std::uint64_t start = std::max(now, mc.unit_busy_until);
             mc.unit_busy_until = start + interval;

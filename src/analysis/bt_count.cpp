@@ -1,5 +1,7 @@
 #include "analysis/bt_count.h"
 
+#include <stdexcept>
+
 namespace nocbt::analysis {
 
 std::vector<BitVec> flitize(std::span<const std::uint32_t> patterns,
@@ -28,6 +30,22 @@ StreamBt stream_bt(std::span<const BitVec> flits) {
   for (std::size_t i = 1; i < flits.size(); ++i) {
     out.total_bt +=
         static_cast<std::uint64_t>(flits[i - 1].transitions_to(flits[i]));
+    ++out.flit_pairs;
+  }
+  return out;
+}
+
+StreamBt stream_bt_reference(std::span<const BitVec> flits) {
+  StreamBt out;
+  for (std::size_t i = 1; i < flits.size(); ++i) {
+    const BitVec& prev = flits[i - 1];
+    const BitVec& cur = flits[i];
+    if (prev.width() != cur.width())
+      throw std::invalid_argument("stream_bt_reference: mixed flit widths");
+    std::uint64_t flips = 0;
+    for (unsigned b = 0; b < cur.width(); ++b)
+      flips += prev.get_bit(b) != cur.get_bit(b);
+    out.total_bt += flips;
     ++out.flit_pairs;
   }
   return out;

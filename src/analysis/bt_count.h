@@ -28,8 +28,15 @@ struct StreamBt {
 };
 
 /// Count transitions between consecutive flits (the paper's "BTs between
-/// two consecutive flits"; the initial wire state is not charged).
+/// two consecutive flits"; the initial wire state is not charged). The
+/// tally rides BitVec's word-packed XOR+popcount path.
 [[nodiscard]] StreamBt stream_bt(std::span<const BitVec> flits);
+
+/// Naive per-bit reference implementation of stream_bt, retained so
+/// differential tests can pin the word-packed path (including
+/// non-multiple-of-64 flit widths) and micro_ordering can benchmark the
+/// two against each other. Requires all flits to share one width.
+[[nodiscard]] StreamBt stream_bt_reference(std::span<const BitVec> flits);
 
 /// Convenience: flitize then count.
 [[nodiscard]] StreamBt pattern_stream_bt(std::span<const std::uint32_t> patterns,

@@ -1,0 +1,67 @@
+#pragma once
+// Word-packed bit-transition / Hamming-distance kernels for the ordering
+// hot path.
+//
+// The per-window quality metric every strategy optimizes is the *sequence
+// BT*: the total number of wire flips when the window's values traverse a
+// link back to back, one value per flit slot (the SV-A stream model with a
+// single lane). The fast kernels below pack a whole window into a
+// contiguous uint64_t bitstream so one XOR + std::popcount covers up to 64
+// bits (8 fixed-8 values) at a time; the naive per-bit implementations are
+// retained as reference models for differential tests and as the benchmark
+// baseline in bench/micro_ordering.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/data_format.h"
+
+namespace nocbt::ordering {
+
+/// A value stream packed LSB-first into a contiguous bitstream: value i
+/// occupies bits [i * bits_per_value, (i + 1) * bits_per_value). Unused
+/// high bits of the last word are zero.
+struct PackedStream {
+  std::vector<std::uint64_t> words;
+  std::size_t value_count = 0;
+  unsigned bits_per_value = 0;
+
+  [[nodiscard]] std::size_t bit_length() const noexcept {
+    return value_count * bits_per_value;
+  }
+};
+
+/// Pack the low value_bits(format) bits of each pattern; stray higher bits
+/// are masked off (matching pattern_popcount's view of a value).
+[[nodiscard]] PackedStream pack_patterns(std::span<const std::uint32_t> patterns,
+                                         DataFormat format);
+
+/// Fast kernel: total transitions between consecutive values of the
+/// stream, computed as popcount(stream XOR (stream >> bits_per_value))
+/// over the first (value_count - 1) * bits_per_value bits.
+[[nodiscard]] std::uint64_t sequence_bt(const PackedStream& stream) noexcept;
+
+/// Convenience: pack then count (what the hot paths call per window).
+[[nodiscard]] std::uint64_t sequence_bt(std::span<const std::uint32_t> patterns,
+                                        DataFormat format);
+
+/// Same total as sequence_bt for the stream patterns[perm[0]],
+/// patterns[perm[1]], ... without materializing the permuted copy.
+[[nodiscard]] std::uint64_t permuted_sequence_bt(
+    std::span<const std::uint32_t> patterns,
+    std::span<const std::uint32_t> perm, DataFormat format) noexcept;
+
+/// Naive per-bit reference implementation of sequence_bt. Differential
+/// tests pin the packed kernel byte-identical to this; micro_ordering
+/// benchmarks the two against each other.
+[[nodiscard]] std::uint64_t sequence_bt_reference(
+    std::span<const std::uint32_t> patterns, DataFormat format);
+
+/// Row-major n*n matrix of pairwise Hamming distances between the low
+/// value_bits(format) bits of the patterns. Entries fit uint8_t (the
+/// widest format is 32 bits). The diagonal is zero.
+[[nodiscard]] std::vector<std::uint8_t> pairwise_hd_matrix(
+    std::span<const std::uint32_t> patterns, DataFormat format);
+
+}  // namespace nocbt::ordering

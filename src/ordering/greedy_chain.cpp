@@ -8,6 +8,10 @@ namespace nocbt::ordering {
 std::vector<std::uint32_t> greedy_min_xor_chain(
     std::span<const std::uint32_t> patterns, DataFormat format) {
   const std::size_t n = patterns.size();
+  // Distances, like the seed's popcount key, only see the format's
+  // transmitted bits — stray bits above value_bits(format) never ride the
+  // link and must not steer the chain.
+  const auto mask = static_cast<std::uint32_t>(low_mask(value_bits(format)));
   std::vector<std::uint32_t> perm;
   if (n == 0) return perm;
   perm.reserve(n);
@@ -27,7 +31,8 @@ std::vector<std::uint32_t> greedy_min_xor_chain(
     int best_dist = 0;
     for (std::size_t j = 0; j < n; ++j) {
       if (used[j]) continue;
-      const int dist = popcount32(patterns[current] ^ patterns[j]);
+      const int dist =
+          popcount32((patterns[current] & mask) ^ (patterns[j] & mask));
       if (best == n || dist < best_dist) {
         best = j;
         best_dist = dist;

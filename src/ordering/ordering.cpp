@@ -11,6 +11,11 @@ std::string to_string(OrderingMode mode) {
     case OrderingMode::kBaseline: return "O0-baseline";
     case OrderingMode::kAffiliated: return "O1-affiliated";
     case OrderingMode::kSeparated: return "O2-separated";
+    case OrderingMode::kChain: return "chain";
+    case OrderingMode::kHdChain: return "hdchain";
+    case OrderingMode::kBucket: return "bucket";
+    case OrderingMode::kHybrid: return "hybrid";
+    case OrderingMode::kTwoFlit: return "twoflit";
   }
   return "?";
 }
@@ -19,7 +24,62 @@ OrderingMode parse_ordering_mode(const std::string& s) {
   if (s == "O0" || s == "baseline") return OrderingMode::kBaseline;
   if (s == "O1" || s == "affiliated") return OrderingMode::kAffiliated;
   if (s == "O2" || s == "separated") return OrderingMode::kSeparated;
+  if (s == "chain" || s == "greedy-chain") return OrderingMode::kChain;
+  if (s == "hdchain" || s == "hd-chain") return OrderingMode::kHdChain;
+  if (s == "bucket" || s == "bucket-sort") return OrderingMode::kBucket;
+  if (s == "hybrid") return OrderingMode::kHybrid;
+  if (s == "twoflit" || s == "two-flit") return OrderingMode::kTwoFlit;
   throw std::invalid_argument("parse_ordering_mode: unknown mode '" + s + "'");
+}
+
+std::string_view mode_strategy_name(OrderingMode mode) noexcept {
+  switch (mode) {
+    case OrderingMode::kBaseline: return "arrival";
+    case OrderingMode::kAffiliated: return "popcount";
+    case OrderingMode::kSeparated: return "popcount";
+    case OrderingMode::kChain: return "chain";
+    case OrderingMode::kHdChain: return "hdchain";
+    case OrderingMode::kBucket: return "bucket";
+    case OrderingMode::kHybrid: return "hybrid";
+    case OrderingMode::kTwoFlit: return "twoflit";
+  }
+  return "arrival";
+}
+
+std::string short_mode_name(OrderingMode mode) {
+  switch (mode) {
+    case OrderingMode::kBaseline: return "O0";
+    case OrderingMode::kAffiliated: return "O1";
+    case OrderingMode::kSeparated: return "O2";
+    default: return std::string(mode_strategy_name(mode));
+  }
+}
+
+std::vector<OrderingMode> parse_ordering_mode_list(const std::string& csv) {
+  std::vector<OrderingMode> modes;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t comma = csv.find(',', start);
+    const std::string token =
+        csv.substr(start, comma == std::string::npos ? std::string::npos
+                                                     : comma - start);
+    if (token.empty())
+      throw std::invalid_argument(
+          "parse_ordering_mode_list: empty mode in list '" + csv + "'");
+    modes.push_back(parse_ordering_mode(token));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return modes;
+}
+
+const std::vector<OrderingMode>& all_ordering_modes() {
+  static const std::vector<OrderingMode> modes{
+      OrderingMode::kBaseline, OrderingMode::kAffiliated,
+      OrderingMode::kSeparated, OrderingMode::kChain,
+      OrderingMode::kHdChain,   OrderingMode::kBucket,
+      OrderingMode::kHybrid,    OrderingMode::kTwoFlit};
+  return modes;
 }
 
 std::vector<std::uint32_t> popcount_descending_order(

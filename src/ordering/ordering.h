@@ -16,21 +16,59 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/data_format.h"
 
 namespace nocbt::ordering {
 
-/// Transmission ordering configuration (paper names O0/O1/O2).
+/// Transmission ordering configuration. The paper names O0/O1/O2; the
+/// remaining modes pair (weight, input) values like O1 but key the
+/// reordering on a different registered OrderingStrategy (see strategy.h).
 enum class OrderingMode : std::uint8_t {
-  kBaseline,    // O0
-  kAffiliated,  // O1
-  kSeparated,   // O2
+  kBaseline,    // O0: natural task order
+  kAffiliated,  // O1: popcount sort on weights, pairs move together
+  kSeparated,   // O2: popcount sort per stream + pairing index
+  kChain,       // affiliated pairing, greedy min-XOR chain (naive reference)
+  kHdChain,     // affiliated pairing, matrix-accelerated HD chaining
+  kBucket,      // affiliated pairing, '1'-count bucket sort (Han et al.)
+  kHybrid,      // affiliated pairing, per-window best-of candidate pick
+  kTwoFlit,     // affiliated pairing, two-flit interleave of SIII
 };
 
 [[nodiscard]] std::string to_string(OrderingMode mode);
 [[nodiscard]] OrderingMode parse_ordering_mode(const std::string& s);
+
+/// O0: values leave in arrival order, no strategy runs.
+[[nodiscard]] constexpr bool mode_is_baseline(OrderingMode mode) noexcept {
+  return mode == OrderingMode::kBaseline;
+}
+
+/// O2: weights and inputs are ordered independently and re-paired at the
+/// PE through the minimal-bit-width index. Every other non-baseline mode
+/// keeps pairs affiliated and needs no recovery metadata.
+[[nodiscard]] constexpr bool mode_is_separated(OrderingMode mode) noexcept {
+  return mode == OrderingMode::kSeparated;
+}
+
+/// Name of the registered OrderingStrategy a mode reorders with ("arrival"
+/// for O0, "popcount" for O1/O2, the strategy's own name otherwise).
+[[nodiscard]] std::string_view mode_strategy_name(OrderingMode mode) noexcept;
+
+/// Compact mode key used in scenario names and sweep arguments: "O0", "O1",
+/// "O2", "chain", "hdchain", "bucket", "hybrid", "twoflit". Each is also
+/// accepted by parse_ordering_mode.
+[[nodiscard]] std::string short_mode_name(OrderingMode mode);
+
+/// Every mode, in enum order (for sweeps and exhaustive tests).
+[[nodiscard]] const std::vector<OrderingMode>& all_ordering_modes();
+
+/// Parse a comma-separated mode list ("O0,O2,hybrid"). Empty tokens are
+/// rejected, as is an empty result — the shared front door for every
+/// sweep front-end's `modes=` argument.
+[[nodiscard]] std::vector<OrderingMode> parse_ordering_mode_list(
+    const std::string& csv);
 
 /// Permutation p such that patterns[p[0]], patterns[p[1]], ... have
 /// non-increasing popcount. Stable: equal-popcount values keep their

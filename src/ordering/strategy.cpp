@@ -1,0 +1,359 @@
+#include "ordering/strategy.h"
+
+#include <algorithm>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+#include "common/bitops.h"
+#include "ordering/bt_kernels.h"
+#include "ordering/greedy_chain.h"
+#include "ordering/two_flit.h"
+
+namespace nocbt::ordering {
+
+namespace {
+
+std::vector<std::uint32_t> identity_permutation(std::size_t n) {
+  std::vector<std::uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  return perm;
+}
+
+/// Nearest-neighbor Hamming-distance chain: same semantics as
+/// greedy_min_xor_chain (seed = highest popcount, ties to the lowest
+/// index; successor = minimum HD, ties to the lowest index), but the
+/// distances come from a precomputed pairwise-HD matrix whose row scans
+/// are branch-light and cache-friendly. Windows too large for an N^2
+/// matrix fall back to on-the-fly distances with identical results.
+constexpr std::size_t kHdMatrixMaxWindow = 4096;
+
+std::vector<std::uint32_t> hd_chain_raw(std::span<const std::uint32_t> patterns,
+                                        DataFormat format) {
+  const std::size_t n = patterns.size();
+  std::vector<std::uint32_t> perm;
+  if (n == 0) return perm;
+  perm.reserve(n);
+
+  const auto mask = static_cast<std::uint32_t>(low_mask(value_bits(format)));
+  const bool use_matrix = n <= kHdMatrixMaxWindow;
+  const std::vector<std::uint8_t> matrix =
+      use_matrix ? pairwise_hd_matrix(patterns, format)
+                 : std::vector<std::uint8_t>{};
+
+  std::size_t current = 0;
+  for (std::size_t i = 1; i < n; ++i)
+    if (pattern_popcount(patterns[i], format) >
+        pattern_popcount(patterns[current], format))
+      current = i;
+
+  std::vector<char> used(n, 0);
+  used[current] = 1;
+  perm.push_back(static_cast<std::uint32_t>(current));
+  for (std::size_t step = 1; step < n; ++step) {
+    const std::uint8_t* row = use_matrix ? matrix.data() + current * n : nullptr;
+    std::size_t best = n;
+    int best_dist = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (used[j]) continue;
+      const int dist =
+          row ? row[j]
+              : popcount32((patterns[current] & mask) ^ (patterns[j] & mask));
+      if (best == n || dist < best_dist) {
+        best = j;
+        best_dist = dist;
+      }
+    }
+    used[best] = 1;
+    perm.push_back(static_cast<std::uint32_t>(best));
+    current = best;
+  }
+  return perm;
+}
+
+class ArrivalStrategy final : public OrderingStrategy {
+ public:
+  std::string_view name() const noexcept override { return "arrival"; }
+  std::string_view description() const noexcept override {
+    return "identity: values leave in natural task order (O0)";
+  }
+  HardwareCost hardware_cost() const override {
+    return {.summary = "none - the ordering unit is bypassed",
+            .relative_area = 0.0};
+  }
+  std::vector<std::uint32_t> order(std::span<const std::uint32_t> patterns,
+                                   DataFormat) const override {
+    return identity_permutation(patterns.size());
+  }
+};
+
+class PopcountStrategy final : public OrderingStrategy {
+ public:
+  std::string_view name() const noexcept override { return "popcount" ; }
+  std::string_view description() const noexcept override {
+    return "stable '1'-count descending sort (the paper's O1/O2 kernel)";
+  }
+  HardwareCost hardware_cost() const override {
+    return {.summary =
+                "SWAR pop-count stage + odd-even transposition network, "
+                "12.91 kGE at 16 lanes (paper Fig. 14)",
+            .relative_area = 1.0};
+  }
+  std::vector<std::uint32_t> order(std::span<const std::uint32_t> patterns,
+                                   DataFormat format) const override {
+    return popcount_descending_order(patterns, format);
+  }
+};
+
+class BucketStrategy final : public OrderingStrategy {
+ public:
+  std::string_view name() const noexcept override { return "bucket"; }
+  std::string_view description() const noexcept override {
+    return "'1'-count bucket (counting) sort, descending; permutation "
+           "identical to popcount (Han et al. sorting unit)";
+  }
+  HardwareCost hardware_cost() const override {
+    return {.summary =
+                "pop-count stage + W+1 bucket counters and a prefix-sum "
+                "placement pass; comparable area to the sort network but "
+                "fixed two-pass latency",
+            .relative_area = 1.0};
+  }
+  std::vector<std::uint32_t> order(std::span<const std::uint32_t> patterns,
+                                   DataFormat format) const override {
+    const unsigned bits = value_bits(format);
+    std::vector<std::uint32_t> counts(bits + 2, 0);
+    for (const std::uint32_t p : patterns)
+      ++counts[static_cast<unsigned>(pattern_popcount(p, format))];
+    // Descending placement offsets: bucket `bits` first, bucket 0 last.
+    std::vector<std::uint32_t> offset(bits + 1, 0);
+    std::uint32_t running = 0;
+    for (unsigned c = bits + 1; c-- > 0;) {
+      offset[c] = running;
+      running += counts[c];
+    }
+    std::vector<std::uint32_t> perm(patterns.size());
+    for (std::size_t i = 0; i < patterns.size(); ++i) {
+      const auto c = static_cast<unsigned>(pattern_popcount(patterns[i], format));
+      perm[offset[c]++] = static_cast<std::uint32_t>(i);
+    }
+    return perm;
+  }
+};
+
+class ChainStrategy final : public OrderingStrategy {
+ public:
+  std::string_view name() const noexcept override { return "chain"; }
+  std::string_view description() const noexcept override {
+    return "greedy min-XOR chain (naive O(N^2) reference, ablation A4), "
+           "with fall-back to arrival order when chaining would add BT";
+  }
+  HardwareCost hardware_cost() const override {
+    return {.summary =
+                "serial nearest-neighbor selection: N XOR+popcount compares "
+                "per emitted value - beyond the paper's sort network",
+            .relative_area = 4.0,
+            .sequential_scan = true};
+  }
+  bool never_worse_than_arrival() const noexcept override { return true; }
+  std::vector<std::uint32_t> order(std::span<const std::uint32_t> patterns,
+                                   DataFormat format) const override {
+    auto perm = greedy_min_xor_chain(patterns, format);
+    // Guard with the naive reference metric: this strategy *is* the
+    // retained reference implementation of HD chaining.
+    const auto chained = apply_permutation(patterns,
+                                           std::span<const std::uint32_t>(perm));
+    if (sequence_bt_reference(chained, format) >
+        sequence_bt_reference(patterns, format))
+      return identity_permutation(patterns.size());
+    return perm;
+  }
+};
+
+class HdChainStrategy final : public OrderingStrategy {
+ public:
+  std::string_view name() const noexcept override { return "hdchain"; }
+  std::string_view description() const noexcept override {
+    return "nearest-neighbor Hamming-distance chaining over a precomputed "
+           "pairwise-HD matrix; same permutation as 'chain', word-packed "
+           "kernels underneath";
+  }
+  HardwareCost hardware_cost() const override {
+    return {.summary =
+                "N^2/2 HD array filled at line rate + min-scan per emitted "
+                "value (Li et al. operand scheduling); area grows with the "
+                "window, not the paper's fixed-lane unit",
+            .relative_area = 6.0,
+            .sequential_scan = true};
+  }
+  bool never_worse_than_arrival() const noexcept override { return true; }
+  std::vector<std::uint32_t> order(std::span<const std::uint32_t> patterns,
+                                   DataFormat format) const override {
+    auto perm = hd_chain_raw(patterns, format);
+    if (permuted_sequence_bt(patterns, perm, format) >
+        sequence_bt(patterns, format))
+      return identity_permutation(patterns.size());
+    return perm;
+  }
+};
+
+class HybridStrategy final : public OrderingStrategy {
+ public:
+  std::string_view name() const noexcept override { return "hybrid"; }
+  std::string_view description() const noexcept override {
+    return "window-adaptive: measures the sequence BT of arrival, popcount "
+           "sort, and HD chaining per window and transmits the cheapest "
+           "(ties prefer the cheaper circuit)";
+  }
+  HardwareCost hardware_cost() const override {
+    return {.summary =
+                "popcount unit + chain engine + per-window BT monitors and "
+                "a 2-bit strategy select in the packet header",
+            .relative_area = 7.5,
+            .sequential_scan = true,
+            .per_window_adaptive = true};
+  }
+  bool never_worse_than_arrival() const noexcept override { return true; }
+  std::vector<std::uint32_t> order(std::span<const std::uint32_t> patterns,
+                                   DataFormat format) const override {
+    std::vector<std::uint32_t> best = identity_permutation(patterns.size());
+    std::uint64_t best_bt = sequence_bt(patterns, format);
+    auto pop = popcount_descending_order(patterns, format);
+    const std::uint64_t pop_bt = permuted_sequence_bt(patterns, pop, format);
+    if (pop_bt < best_bt) {
+      best_bt = pop_bt;
+      best = std::move(pop);
+    }
+    auto chain = hd_chain_raw(patterns, format);
+    if (permuted_sequence_bt(patterns, chain, format) < best_bt)
+      best = std::move(chain);
+    return best;
+  }
+};
+
+class TwoFlitStrategy final : public OrderingStrategy {
+ public:
+  std::string_view name() const noexcept override { return "twoflit"; }
+  std::string_view description() const noexcept override {
+    return "SIII two-flit interleave: popcount-sort the window, deal "
+           "alternately so x1 >= y1 >= x2 >= y2 >= ..., transmit flit 1 "
+           "then flit 2";
+  }
+  HardwareCost hardware_cost() const override {
+    return {.summary =
+                "popcount sort network + an alternating deal crossbar "
+                "(two flit buffers)",
+            .relative_area = 1.2};
+  }
+  std::vector<std::uint32_t> order(std::span<const std::uint32_t> patterns,
+                                   DataFormat format) const override {
+    const auto sorted = popcount_descending_order(patterns, format);
+    const std::size_t n = sorted.size();
+    const std::size_t half = (n + 1) / 2;  // flit 1 takes the odd extra
+    std::vector<std::uint32_t> perm(n);
+    for (std::size_t i = 0; i < half; ++i) perm[i] = sorted[2 * i];
+    for (std::size_t i = 0; half + i < n; ++i) perm[half + i] = sorted[2 * i + 1];
+    return perm;
+  }
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<OrderingStrategy>> list;
+
+  Registry() {
+    list.push_back(std::make_unique<ArrivalStrategy>());
+    list.push_back(std::make_unique<PopcountStrategy>());
+    list.push_back(std::make_unique<BucketStrategy>());
+    list.push_back(std::make_unique<ChainStrategy>());
+    list.push_back(std::make_unique<HdChainStrategy>());
+    list.push_back(std::make_unique<HybridStrategy>());
+    list.push_back(std::make_unique<TwoFlitStrategy>());
+  }
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+}  // namespace
+
+const OrderingStrategy* find_strategy(std::string_view name) {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  for (const auto& s : reg.list)
+    if (s->name() == name) return s.get();
+  return nullptr;
+}
+
+const OrderingStrategy& get_strategy(std::string_view name) {
+  if (const OrderingStrategy* s = find_strategy(name)) return *s;
+  std::string known;
+  for (const OrderingStrategy* s : registered_strategies()) {
+    if (!known.empty()) known += ", ";
+    known += s->name();
+  }
+  throw std::invalid_argument("get_strategy: unknown ordering strategy '" +
+                              std::string(name) + "' (registered: " + known +
+                              ")");
+}
+
+std::vector<const OrderingStrategy*> registered_strategies() {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  std::vector<const OrderingStrategy*> out;
+  out.reserve(reg.list.size());
+  for (const auto& s : reg.list) out.push_back(s.get());
+  return out;
+}
+
+void register_strategy(std::unique_ptr<OrderingStrategy> strategy) {
+  if (!strategy)
+    throw std::invalid_argument("register_strategy: null strategy");
+  if (strategy->name().empty())
+    throw std::invalid_argument("register_strategy: empty strategy name");
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  for (const auto& s : reg.list)
+    if (s->name() == strategy->name())
+      throw std::invalid_argument("register_strategy: duplicate name '" +
+                                  std::string(strategy->name()) + "'");
+  reg.list.push_back(std::move(strategy));
+}
+
+const OrderingStrategy& mode_strategy(OrderingMode mode) {
+  // Every mode maps to a built-in, and built-ins are never removed, so the
+  // resolutions can be cached once: this sits on the per-packet hot path
+  // of the campaign runner and the accel packet builder, where taking the
+  // registry mutex per packet would serialize worker threads.
+  static const std::vector<const OrderingStrategy*> cache = [] {
+    std::vector<const OrderingStrategy*> modes;
+    for (const OrderingMode m : all_ordering_modes())
+      modes.push_back(&get_strategy(mode_strategy_name(m)));
+    return modes;
+  }();
+  const auto index = static_cast<std::size_t>(mode);
+  if (index >= cache.size())
+    throw std::invalid_argument("mode_strategy: unknown OrderingMode");
+  return *cache[index];
+}
+
+std::vector<std::uint32_t> order_stream_with(
+    const OrderingStrategy& strategy, std::span<const std::uint32_t> patterns,
+    DataFormat format, std::size_t window_values) {
+  if (window_values == 0)
+    throw std::invalid_argument("order_stream_with: window_values == 0");
+  std::vector<std::uint32_t> out;
+  out.reserve(patterns.size());
+  for (std::size_t start = 0; start < patterns.size(); start += window_values) {
+    const std::size_t len = std::min(window_values, patterns.size() - start);
+    const auto window = patterns.subspan(start, len);
+    const auto perm = strategy.order(window, format);
+    for (const std::uint32_t idx : perm) out.push_back(window[idx]);
+  }
+  return out;
+}
+
+}  // namespace nocbt::ordering

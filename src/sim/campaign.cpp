@@ -15,7 +15,7 @@
 #include "common/json_writer.h"
 #include "common/table.h"
 #include "noc/network.h"
-#include "ordering/ordering.h"
+#include "ordering/strategy.h"
 #include "sim/traffic_gen.h"
 
 namespace nocbt::sim {
@@ -36,49 +36,37 @@ std::string short_format(DataFormat format) {
   return format == DataFormat::kFloat32 ? "fp32" : "fx8";
 }
 
-std::string short_mode(ordering::OrderingMode mode) {
-  switch (mode) {
-    case ordering::OrderingMode::kBaseline: return "O0";
-    case ordering::OrderingMode::kAffiliated: return "O1";
-    case ordering::OrderingMode::kSeparated: return "O2";
-  }
-  return "?";
-}
-
 /// Flitize one request under the given ordering mode: encode order, pack
-/// half-half (weights right, inputs left, no bias — pure traffic).
+/// half-half (weights right, inputs left, no bias — pure traffic). The
+/// mode's registered OrderingStrategy supplies the permutation, so every
+/// strategy in the registry is sweepable through the campaign grid.
 std::vector<BitVec> build_payloads(const InjectionRequest& req,
                                    DataFormat format,
                                    const accel::FlitLayout& layout,
                                    ordering::OrderingMode mode) {
   using ordering::apply_permutation;
-  using ordering::popcount_descending_order;
   std::span<const std::uint32_t> weights(req.weights);
   std::span<const std::uint32_t> inputs(req.inputs);
   std::vector<std::uint32_t> w_store;
   std::vector<std::uint32_t> in_store;
-  switch (mode) {
-    case ordering::OrderingMode::kBaseline:
-      break;
-    case ordering::OrderingMode::kAffiliated: {
-      const auto perm = popcount_descending_order(weights, format);
-      w_store = apply_permutation(weights, std::span<const std::uint32_t>(perm));
-      in_store = apply_permutation(inputs, std::span<const std::uint32_t>(perm));
-      weights = w_store;
-      inputs = in_store;
-      break;
-    }
-    case ordering::OrderingMode::kSeparated: {
-      const auto w_perm = popcount_descending_order(weights, format);
-      const auto in_perm = popcount_descending_order(inputs, format);
+  if (!ordering::mode_is_baseline(mode)) {
+    const ordering::OrderingStrategy& strategy = ordering::mode_strategy(mode);
+    if (ordering::mode_is_separated(mode)) {
+      const auto w_perm = strategy.order(weights, format);
+      const auto in_perm = strategy.order(inputs, format);
       w_store =
           apply_permutation(weights, std::span<const std::uint32_t>(w_perm));
       in_store =
           apply_permutation(inputs, std::span<const std::uint32_t>(in_perm));
-      weights = w_store;
-      inputs = in_store;
-      break;
+    } else {
+      // Affiliated pairing: one permutation keyed on the weights moves
+      // (weight, input) pairs together.
+      const auto perm = strategy.order(weights, format);
+      w_store = apply_permutation(weights, std::span<const std::uint32_t>(perm));
+      in_store = apply_permutation(inputs, std::span<const std::uint32_t>(perm));
     }
+    weights = w_store;
+    inputs = in_store;
   }
   return accel::pack_half_half(inputs, weights, std::nullopt, layout);
 }
@@ -219,7 +207,7 @@ std::string scenario_name(GeneratorKind generator, DataFormat format,
                           ordering::OrderingMode mode, const MeshSpec& mesh,
                           std::uint32_t window) {
   return to_string(generator) + "/" + short_format(format) + "/" +
-         short_mode(mode) + "/" + std::to_string(mesh.rows) + "x" +
+         ordering::short_mode_name(mode) + "/" + std::to_string(mesh.rows) + "x" +
          std::to_string(mesh.cols) + "mc" + std::to_string(mesh.mcs) + "/w" +
          std::to_string(window);
 }

@@ -61,6 +61,35 @@ TEST(OrderingUnitModel, HardwareOrderKeysOnConfiguredWidth) {
   EXPECT_EQ(dirty[hw[0]], 0xABCD00FFu);  // popcount8 == 8
 }
 
+TEST(OrderingUnitModel, ConvergesForEveryWindowSizeUpToCapacity) {
+  // The odd-even-transposition network runs n passes for n values, which
+  // is exactly the depth needed for convergence at the unit's lane
+  // capacity. Check every window size up to `lanes`, with values drawn
+  // from a tiny alphabet so duplicate popcounts (comparator ties) occur in
+  // nearly every window — the stable network must still match the stable
+  // software sort bit-for-bit.
+  for (const DataFormat format : {DataFormat::kFixed8, DataFormat::kFloat32}) {
+    const OrderingUnitModel unit = unit_for(format);
+    // Popcounts over this alphabet: 0, 1, 1, 2, 2, 4 — heavy on ties.
+    const std::uint32_t alphabet[] = {0x00, 0x01, 0x80, 0x03,
+                                      0x81, 0x0F};
+    for (std::uint32_t n = 0; n <= unit.config().lanes; ++n) {
+      for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+        Rng rng(seed * 997 + n);
+        std::vector<std::uint32_t> window;
+        window.reserve(n);
+        for (std::uint32_t i = 0; i < n; ++i)
+          window.push_back(
+              alphabet[static_cast<std::size_t>(rng.uniform_int(0, 5))]);
+        const auto hw = unit.hardware_order(window);
+        const auto sw = popcount_descending_order(window, format);
+        ASSERT_EQ(hw, sw) << "n=" << n << " seed=" << seed
+                          << " format=" << to_string(format);
+      }
+    }
+  }
+}
+
 TEST(OrderingUnitModel, HardwareOrderIsStableOnTies) {
   // All-equal popcounts: the network's strict comparators must never move
   // anything, exactly like the stable software sort.

@@ -1,0 +1,234 @@
+// Tests for the ordering-strategy registry: built-in presence, mode ->
+// strategy resolution, differential equivalences between the new
+// strategies and their reference implementations, and registry extension.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "common/bitops.h"
+#include "common/rng.h"
+#include "ordering/bt_kernels.h"
+#include "ordering/greedy_chain.h"
+#include "ordering/ordering.h"
+#include "ordering/strategy.h"
+#include "ordering/two_flit.h"
+
+namespace nocbt::ordering {
+namespace {
+
+std::vector<std::uint32_t> random_window(std::size_t n, DataFormat format,
+                                         std::uint64_t seed) {
+  Rng rng(seed);
+  const std::uint64_t mask = low_mask(value_bits(format));
+  std::vector<std::uint32_t> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back(static_cast<std::uint32_t>(rng.bits64() & mask));
+  return out;
+}
+
+TEST(StrategyRegistry, BuiltinsAreRegistered) {
+  std::set<std::string> names;
+  for (const OrderingStrategy* s : registered_strategies())
+    names.insert(std::string(s->name()));
+  for (const char* expected : {"arrival", "popcount", "bucket", "chain",
+                               "hdchain", "hybrid", "twoflit"})
+    EXPECT_TRUE(names.count(expected)) << "missing strategy " << expected;
+}
+
+TEST(StrategyRegistry, LookupAndErrors) {
+  EXPECT_EQ(find_strategy("popcount"), &get_strategy("popcount"));
+  EXPECT_EQ(find_strategy("no-such-strategy"), nullptr);
+  EXPECT_THROW((void)get_strategy("no-such-strategy"), std::invalid_argument);
+  EXPECT_THROW(register_strategy(nullptr), std::invalid_argument);
+}
+
+TEST(StrategyRegistry, HardwareCostMetadataIsPopulated) {
+  for (const OrderingStrategy* s : registered_strategies()) {
+    EXPECT_FALSE(s->hardware_cost().summary.empty()) << s->name();
+    EXPECT_GE(s->hardware_cost().relative_area, 0.0) << s->name();
+    EXPECT_FALSE(s->description().empty()) << s->name();
+  }
+}
+
+TEST(StrategyRegistry, EveryModeResolvesToARegisteredStrategy) {
+  for (const OrderingMode mode : all_ordering_modes()) {
+    const OrderingStrategy& s = mode_strategy(mode);
+    EXPECT_EQ(s.name(), mode_strategy_name(mode)) << to_string(mode);
+    // The short mode key must be accepted back by the parser (the campaign
+    // README documents `modes=<key>`).
+    EXPECT_EQ(parse_ordering_mode(short_mode_name(mode)), mode)
+        << to_string(mode);
+  }
+  EXPECT_EQ(mode_strategy(OrderingMode::kBaseline).name(), "arrival");
+  EXPECT_EQ(mode_strategy(OrderingMode::kAffiliated).name(), "popcount");
+  EXPECT_EQ(mode_strategy(OrderingMode::kSeparated).name(), "popcount");
+  EXPECT_EQ(mode_strategy(OrderingMode::kHybrid).name(), "hybrid");
+}
+
+TEST(StrategyRegistry, NewModeNamesRoundTripThroughParser) {
+  EXPECT_EQ(parse_ordering_mode("chain"), OrderingMode::kChain);
+  EXPECT_EQ(parse_ordering_mode("hdchain"), OrderingMode::kHdChain);
+  EXPECT_EQ(parse_ordering_mode("hd-chain"), OrderingMode::kHdChain);
+  EXPECT_EQ(parse_ordering_mode("bucket"), OrderingMode::kBucket);
+  EXPECT_EQ(parse_ordering_mode("hybrid"), OrderingMode::kHybrid);
+  EXPECT_EQ(parse_ordering_mode("twoflit"), OrderingMode::kTwoFlit);
+  EXPECT_THROW((void)parse_ordering_mode("O3"), std::invalid_argument);
+}
+
+TEST(StrategyRegistry, ModeListParserHandlesSweepArguments) {
+  const auto modes = parse_ordering_mode_list("O0,O2,hybrid");
+  ASSERT_EQ(modes.size(), 3u);
+  EXPECT_EQ(modes[0], OrderingMode::kBaseline);
+  EXPECT_EQ(modes[1], OrderingMode::kSeparated);
+  EXPECT_EQ(modes[2], OrderingMode::kHybrid);
+  EXPECT_EQ(parse_ordering_mode_list("chain").size(), 1u);
+  EXPECT_THROW((void)parse_ordering_mode_list(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_ordering_mode_list("O1,,O2"), std::invalid_argument);
+  EXPECT_THROW((void)parse_ordering_mode_list("O1,bogus"),
+               std::invalid_argument);
+}
+
+TEST(StrategyDifferential, BucketSortMatchesPopcountSortExactly) {
+  // The '1'-count bucket sort is a stable counting sort on the same key:
+  // the permutation must be identical to the comparison sort's, including
+  // tie handling, on every window.
+  const OrderingStrategy& bucket = get_strategy("bucket");
+  for (const DataFormat format : {DataFormat::kFloat32, DataFormat::kFixed8}) {
+    for (const std::size_t n : {0u, 1u, 2u, 7u, 16u, 33u, 64u, 257u}) {
+      for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        const auto window = random_window(n, format, seed * 31 + n);
+        EXPECT_EQ(bucket.order(window, format),
+                  popcount_descending_order(window, format))
+            << "n=" << n << " seed=" << seed;
+      }
+    }
+  }
+}
+
+TEST(StrategyDifferential, HdChainMatchesNaiveChainExactly) {
+  // hdchain re-implements the greedy chain over a precomputed HD matrix;
+  // both run through the same never-worse guard, so the permutations must
+  // agree on every window.
+  const OrderingStrategy& chain = get_strategy("chain");
+  const OrderingStrategy& hdchain = get_strategy("hdchain");
+  for (const DataFormat format : {DataFormat::kFloat32, DataFormat::kFixed8}) {
+    for (const std::size_t n : {0u, 1u, 2u, 7u, 16u, 33u, 64u, 129u}) {
+      for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        const auto window = random_window(n, format, seed * 131 + n);
+        EXPECT_EQ(hdchain.order(window, format), chain.order(window, format))
+            << "n=" << n << " seed=" << seed;
+      }
+    }
+  }
+  // Both chains mask stray bits above the format width the same way, so
+  // dirty fixed-8 patterns in uint32 slots cannot make them diverge.
+  const std::vector<std::uint32_t> dirty = {0x0000FF01u, 0x02u, 0x03u,
+                                            0xABCD0081u, 0x00FF0000u};
+  EXPECT_EQ(hdchain.order(dirty, DataFormat::kFixed8),
+            chain.order(dirty, DataFormat::kFixed8));
+}
+
+TEST(StrategyDifferential, HdChainMatrixFallbackMatchesBeyondThreshold) {
+  // Windows too large for the N^2 matrix use on-the-fly distances; the
+  // permutation must not change across the internal threshold (4096).
+  const DataFormat format = DataFormat::kFixed8;
+  const auto window = random_window(4200, format, 77);
+  const OrderingStrategy& hdchain = get_strategy("hdchain");
+  const auto perm = hdchain.order(window, format);
+  EXPECT_TRUE(is_permutation(perm, window.size()));
+  EXPECT_EQ(perm, greedy_min_xor_chain(window, format));
+}
+
+TEST(StrategyDifferential, TwoFlitMatchesInterleaveAssignment) {
+  // The twoflit permutation transmits flit 1 then flit 2 of the SIII
+  // interleaved assignment: applying it must reproduce interleave_descending.
+  const OrderingStrategy& twoflit = get_strategy("twoflit");
+  for (const DataFormat format : {DataFormat::kFloat32, DataFormat::kFixed8}) {
+    for (const std::size_t n : {2u, 4u, 8u, 12u, 16u}) {  // even: 2N values
+      const auto window = random_window(n, format, 17 + n);
+      const auto perm = twoflit.order(window, format);
+      const auto applied = apply_permutation(
+          std::span<const std::uint32_t>(window),
+          std::span<const std::uint32_t>(perm));
+      const TwoFlitAssignment assignment = interleave_descending(window, format);
+      ASSERT_EQ(assignment.flit1.size() + assignment.flit2.size(), n);
+      const std::vector<std::uint32_t> flit1(applied.begin(),
+                                             applied.begin() + n / 2);
+      const std::vector<std::uint32_t> flit2(applied.begin() + n / 2,
+                                             applied.end());
+      EXPECT_EQ(flit1, assignment.flit1) << "n=" << n;
+      EXPECT_EQ(flit2, assignment.flit2) << "n=" << n;
+    }
+  }
+}
+
+TEST(StrategyDifferential, HybridPicksTheCheapestCandidatePerWindow) {
+  const OrderingStrategy& hybrid = get_strategy("hybrid");
+  const OrderingStrategy& chain = get_strategy("chain");
+  for (const DataFormat format : {DataFormat::kFloat32, DataFormat::kFixed8}) {
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+      const auto window = random_window(32, format, seed * 7 + 3);
+      const auto perm = hybrid.order(window, format);
+      const std::uint64_t bt = permuted_sequence_bt(window, perm, format);
+      EXPECT_LE(bt, sequence_bt(window, format)) << "vs arrival, seed=" << seed;
+      EXPECT_LE(bt, permuted_sequence_bt(
+                        window, popcount_descending_order(window, format),
+                        format))
+          << "vs popcount, seed=" << seed;
+      EXPECT_LE(bt, permuted_sequence_bt(window, chain.order(window, format),
+                                         format))
+          << "vs chain, seed=" << seed;
+    }
+  }
+}
+
+TEST(StrategyDifferential, OrderStreamWithPopcountMatchesLegacyStreamSort) {
+  const auto stream = random_window(1000, DataFormat::kFixed8, 91);
+  EXPECT_EQ(order_stream_with(get_strategy("popcount"), stream,
+                              DataFormat::kFixed8, 64),
+            order_stream_descending(stream, DataFormat::kFixed8, 64));
+  EXPECT_THROW((void)order_stream_with(get_strategy("popcount"), stream,
+                                       DataFormat::kFixed8, 0),
+               std::invalid_argument);
+}
+
+/// Registry extension: user strategies slot in next to the built-ins.
+class ReverseStrategy final : public OrderingStrategy {
+ public:
+  std::string_view name() const noexcept override { return "test-reverse"; }
+  std::string_view description() const noexcept override {
+    return "reversed arrival order (test fixture)";
+  }
+  HardwareCost hardware_cost() const override {
+    return {.summary = "a LIFO buffer", .relative_area = 0.1};
+  }
+  std::vector<std::uint32_t> order(std::span<const std::uint32_t> patterns,
+                                   DataFormat) const override {
+    std::vector<std::uint32_t> perm(patterns.size());
+    for (std::size_t i = 0; i < perm.size(); ++i)
+      perm[i] = static_cast<std::uint32_t>(perm.size() - 1 - i);
+    return perm;
+  }
+};
+
+TEST(StrategyRegistry, CustomStrategiesCanBeRegistered) {
+  if (find_strategy("test-reverse") == nullptr)
+    register_strategy(std::make_unique<ReverseStrategy>());
+  const OrderingStrategy& reverse = get_strategy("test-reverse");
+  const std::vector<std::uint32_t> window = {10, 20, 30};
+  EXPECT_EQ(reverse.order(window, DataFormat::kFixed8),
+            (std::vector<std::uint32_t>{2, 1, 0}));
+  // Duplicate names are rejected.
+  EXPECT_THROW(register_strategy(std::make_unique<ReverseStrategy>()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nocbt::ordering

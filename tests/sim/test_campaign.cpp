@@ -266,6 +266,39 @@ TEST(Campaign, CsvAndJsonReportsHitDisk) {
   EXPECT_EQ(buffer.str(), json_report(camp, result) + "\n");
 }
 
+TEST(Campaign, EveryStrategyModeRunsAndAppearsInTheReportTable) {
+  // The strategy-backed modes added by the ordering registry must be
+  // sweepable like O0/O1/O2: every scenario completes and its mode key
+  // shows up in the rendered report.
+  CampaignSpec camp;
+  camp.name = "strategies";
+  camp.root_seed = 7;
+  camp.generators = {GeneratorKind::kUniform};
+  camp.formats = {DataFormat::kFixed8};
+  camp.modes = {ordering::OrderingMode::kChain,
+                ordering::OrderingMode::kHdChain,
+                ordering::OrderingMode::kBucket,
+                ordering::OrderingMode::kHybrid,
+                ordering::OrderingMode::kTwoFlit};
+  camp.meshes = {MeshSpec{4, 4, 2}};
+  camp.windows = {16};
+  camp.base.packets = 8;
+  camp.base.injection_rate = 0.5;
+
+  const CampaignResult result = run_campaign(camp, RunnerConfig{});
+  ASSERT_EQ(result.rows.size(), camp.modes.size());
+  for (const ScenarioResult& row : result.rows) {
+    EXPECT_TRUE(row.error.empty()) << row.spec.name << ": " << row.error;
+    EXPECT_TRUE(row.drained) << row.spec.name;
+    EXPECT_GT(row.bt_ordered, 0u) << row.spec.name;
+  }
+  const std::string table = render_table(result);
+  for (const ordering::OrderingMode mode : camp.modes)
+    EXPECT_NE(table.find("/" + ordering::short_mode_name(mode) + "/"),
+              std::string::npos)
+        << "mode " << ordering::short_mode_name(mode) << " missing from table";
+}
+
 TEST(Campaign, RenderTableHasOneRowPerScenario) {
   const CampaignSpec camp = small_campaign();
   const auto result = run_campaign(camp, RunnerConfig{2, nullptr});
