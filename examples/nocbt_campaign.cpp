@@ -17,6 +17,13 @@
 // Every key can also come from a `config=FILE` key=value file (one pair
 // per line, '#' comments); explicit command-line arguments win. Use
 // `describe=1` to print the expanded scenario list without running it.
+//
+// Energy reporting (§V-C units): `energy_pj=` selects the pJ/transition
+// point ("innovus" = 0.173, "banerjee" = 0.532, or a number) and
+// `freq_mhz=` the link clock; every report then carries measured link
+// energy (pJ) and average power (mW) per scenario. `heatmap=FILE` writes
+// a per-link CSV (link id, kind, src->dst, flits, BT, energy) for
+// hotspot analysis.
 
 #include <cstdio>
 #include <exception>
@@ -29,6 +36,7 @@
 #include "common/rng.h"
 #include "dnn/models.h"
 #include "dnn/synthetic_data.h"
+#include "hw/energy_model.h"
 #include "sim/campaign.h"
 
 using namespace nocbt;
@@ -74,7 +82,7 @@ void check_known_keys(const Options& opts) {
       "dist_a",   "dist_b",     "hotspot_fraction",          "hotspot_node",
       "burst_len", "burst_gap", "trace",       "model_seed", "input_seed",
       "max_cycles", "threads",  "progress",    "describe",   "csv",
-      "json"};
+      "json",     "energy_pj",  "freq_mhz",    "heatmap"};
   for (const auto& [key, value] : opts.values())
     if (known.count(key) == 0)
       throw std::invalid_argument("unknown option '" + key +
@@ -101,14 +109,13 @@ sim::CampaignSpec build_campaign(const Options& opts) {
     camp.meshes.push_back(sim::parse_mesh_spec(m));
   camp.windows.clear();
   for (const auto& w : split_list(opts.get_string("windows", "64"))) {
-    std::size_t pos = 0;
-    long long parsed = -1;
+    std::int64_t parsed = -1;
     try {
-      parsed = std::stoll(w, &pos);
+      parsed = parse_int_strict(w);
     } catch (const std::exception&) {
-      pos = 0;
+      parsed = -1;
     }
-    if (pos != w.size() || parsed < 0 || parsed > 1'000'000)
+    if (parsed < 0 || parsed > 1'000'000)
       throw std::invalid_argument("windows entry '" + w +
                                   "' is not in [0, 1000000]");
     camp.windows.push_back(static_cast<std::uint32_t>(parsed));
@@ -140,6 +147,11 @@ sim::CampaignSpec build_campaign(const Options& opts) {
   base.burst_gap = static_cast<std::uint32_t>(
       get_bounded(opts, "burst_gap", 64, 0, 1'000'000'000));
   base.trace_path = opts.get_string("trace", "");
+  base.energy_per_transition_pj =
+      hw::parse_energy_point(opts.get_string("energy_pj", "innovus"));
+  base.frequency_mhz = opts.get_double("freq_mhz", 125.0);
+  if (!(base.frequency_mhz > 0.0))
+    throw std::invalid_argument("option 'freq_mhz' must be positive");
   base.model_seed = static_cast<std::uint64_t>(opts.get_int("model_seed", 42));
   base.input_seed = static_cast<std::uint64_t>(opts.get_int("input_seed", 7));
   base.max_cycles = static_cast<std::uint64_t>(get_bounded(
@@ -215,6 +227,13 @@ int main(int argc, char** argv) {
     if (!json_path.empty()) {
       sim::write_json_report(json_path, camp, result);
       std::printf("wrote JSON report to %s\n", json_path.c_str());
+    }
+    const std::string heatmap_path = opts.get_string("heatmap", "");
+    if (!heatmap_path.empty()) {
+      const std::size_t rows =
+          sim::write_link_heatmap_csv(heatmap_path, camp, result);
+      std::printf("wrote per-link heatmap CSV to %s (%zu link rows)\n",
+                  heatmap_path.c_str(), rows);
     }
 
     std::size_t failed = 0;

@@ -268,6 +268,7 @@ InferenceResult NocDnaPlatform::run(const dnn::Tensor& input) {
   result.total_cycles = net.cycle();
   result.bt_total = net.bt().total();
   result.bt_all_links = net.bt().total_all_links();
+  result.links = net.bt().snapshot();
   result.noc_stats = net.stats();
   return result;
 }

@@ -48,6 +48,9 @@ struct InferenceResult {
   std::vector<LayerRunStats> layers;
   noc::NocStats noc_stats;
   noc::PacketTrace trace;            ///< per-packet delivery trace (Fig. 7)
+  /// Frozen per-link flit/BT counters (hw::EnergyModel::annotate turns
+  /// these into the campaign's per-link energy heatmap).
+  std::vector<noc::LinkObservation> links;
 };
 
 class NocDnaPlatform {

@@ -5,6 +5,24 @@
 
 namespace nocbt {
 
+std::int64_t parse_int_strict(const std::string& s) {
+  std::size_t pos = 0;
+  const std::int64_t v = std::stoll(s, &pos);
+  if (pos != s.size())
+    throw std::invalid_argument("parse_int_strict: trailing characters in '" +
+                                s + "'");
+  return v;
+}
+
+double parse_double_strict(const std::string& s) {
+  std::size_t pos = 0;
+  const double v = std::stod(s, &pos);
+  if (pos != s.size())
+    throw std::invalid_argument(
+        "parse_double_strict: trailing characters in '" + s + "'");
+  return v;
+}
+
 Options Options::parse(int argc, char** argv) {
   Options opts;
   for (int i = 1; i < argc; ++i) {
@@ -62,7 +80,9 @@ std::int64_t Options::get_int(const std::string& key,
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
   try {
-    return std::stoll(it->second);
+    // Strict parse: stoll alone accepts trailing garbage ("32abc" parses
+    // as 32, silently running a typo'd sweep).
+    return parse_int_strict(it->second);
   } catch (const std::exception&) {
     throw std::invalid_argument("Options: '" + key + "' is not an integer: " +
                                 it->second);
@@ -73,7 +93,7 @@ double Options::get_double(const std::string& key, double fallback) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
   try {
-    return std::stod(it->second);
+    return parse_double_strict(it->second);
   } catch (const std::exception&) {
     throw std::invalid_argument("Options: '" + key + "' is not a number: " +
                                 it->second);

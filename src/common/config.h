@@ -9,6 +9,13 @@
 
 namespace nocbt {
 
+/// Strict full-string numeric parses: the entire string must be consumed,
+/// so trailing garbage ("32abc", "0.5x") throws std::invalid_argument
+/// instead of silently truncating. The single home of the stoll/stod +
+/// pos-check idiom — Options getters and other CLI parsers build on these.
+[[nodiscard]] std::int64_t parse_int_strict(const std::string& s);
+[[nodiscard]] double parse_double_strict(const std::string& s);
+
 /// Parses arguments of the form `key=value`; anything else throws.
 /// Typed getters fall back to a default when the key is absent and throw
 /// std::invalid_argument on malformed values.

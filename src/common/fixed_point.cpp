@@ -8,13 +8,24 @@
 
 namespace nocbt {
 
+namespace {
+
+/// Width gate that must run before any `bits - 1` shift: the member-init
+/// list evaluates before the constructor body, so validating there is too
+/// late — bits = 0 would already have shifted by 4294967295 (UB).
+unsigned checked_bits(unsigned bits) {
+  if (bits < 2 || bits > 16)
+    throw std::invalid_argument("FixedPointCodec: bits must be in [2, 16]");
+  return bits;
+}
+
+}  // namespace
+
 FixedPointCodec::FixedPointCodec(unsigned bits, double scale)
-    : bits_(bits),
+    : bits_(checked_bits(bits)),
       scale_(scale),
       max_code_((std::int32_t{1} << (bits - 1)) - 1),
       mask_(static_cast<std::uint32_t>(low_mask(bits))) {
-  if (bits < 2 || bits > 16)
-    throw std::invalid_argument("FixedPointCodec: bits must be in [2, 16]");
   if (!(scale > 0.0))
     throw std::invalid_argument("FixedPointCodec: scale must be positive");
 }
@@ -39,13 +50,13 @@ std::int32_t FixedPointCodec::from_pattern(std::uint32_t pattern) const noexcept
 
 FixedPointCodec FixedPointCodec::calibrate(unsigned bits,
                                            std::span<const float> values) {
+  // Construct first so the width is validated before the max_code() shift.
+  FixedPointCodec codec(bits, 1.0);
   float max_abs = 0.0f;
   for (float v : values) max_abs = std::max(max_abs, std::fabs(v));
-  const std::int32_t max_code = (std::int32_t{1} << (bits - 1)) - 1;
-  const double scale = max_abs > 0.0f
-                           ? static_cast<double>(max_abs) / max_code
-                           : 1.0;
-  return FixedPointCodec(bits, scale);
+  if (max_abs > 0.0f)
+    codec.scale_ = static_cast<double>(max_abs) / codec.max_code_;
+  return codec;
 }
 
 std::vector<std::uint32_t> quantize_all(const FixedPointCodec& codec,

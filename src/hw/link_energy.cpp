@@ -1,5 +1,7 @@
 #include "hw/link_energy.h"
 
+#include <stdexcept>
+
 namespace nocbt::hw {
 
 double link_power_mw(const LinkPowerConfig& config) {
@@ -15,6 +17,11 @@ double link_power_with_reduction_mw(const LinkPowerConfig& config,
 }
 
 unsigned mesh_bidirectional_links(unsigned rows, unsigned cols) {
+  // A 0-dimension mesh would underflow (cols - 1) and report a huge link
+  // count; 1xN / Nx1 chains are legitimate and have N-1 links.
+  if (rows == 0 || cols == 0)
+    throw std::invalid_argument(
+        "mesh_bidirectional_links: mesh dimensions must be >= 1");
   return rows * (cols - 1) + cols * (rows - 1);
 }
 

@@ -35,6 +35,7 @@ inline constexpr double kBanerjeeEnergyPj = 0.532;
 /// Inter-router link count of an R x C mesh (both directions):
 /// 2 * (R*(C-1) + C*(R-1)). For 8x8 this is 224 unidirectional; the paper
 /// counts 112 *bidirectional* links, i.e. links = R*(C-1) + C*(R-1).
+/// Throws std::invalid_argument when either dimension is 0.
 [[nodiscard]] unsigned mesh_bidirectional_links(unsigned rows, unsigned cols);
 
 /// Energy (in Joules) for a measured BT count at the configured pJ/bit.

@@ -42,6 +42,15 @@ std::uint64_t BtRecorder::total_all_links() const noexcept {
   return kind_bt_[0] + kind_bt_[1] + kind_bt_[2];
 }
 
+std::vector<LinkObservation> BtRecorder::snapshot() const {
+  std::vector<LinkObservation> out;
+  out.reserve(links_.size());
+  for (std::size_t i = 0; i < links_.size(); ++i)
+    out.push_back(LinkObservation{static_cast<std::int32_t>(i), links_[i],
+                                  link_flits_[i], link_bt_[i]});
+  return out;
+}
+
 std::uint64_t BtRecorder::flits_in_scope() const noexcept {
   std::uint64_t sum = 0;
   for (int k = 0; k < 3; ++k)

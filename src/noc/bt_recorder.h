@@ -31,6 +31,29 @@ struct LinkInfo {
   std::int32_t src_port = -1;  ///< output port at the source (routers only)
 };
 
+[[nodiscard]] inline bool operator==(const LinkInfo& a,
+                                     const LinkInfo& b) noexcept {
+  return a.kind == b.kind && a.src == b.src && a.dst == b.dst &&
+         a.src_port == b.src_port;
+}
+
+/// One link's accumulated measurements, frozen at snapshot time. This is
+/// the unit the hw::EnergyModel converts into pJ — keeping it a plain
+/// value lets campaign workers copy it out of a worker-private Network
+/// before the network is torn down.
+struct LinkObservation {
+  std::int32_t link_id = -1;
+  LinkInfo info;
+  std::uint64_t flits = 0;
+  std::uint64_t transitions = 0;
+};
+
+[[nodiscard]] inline bool operator==(const LinkObservation& a,
+                                     const LinkObservation& b) noexcept {
+  return a.link_id == b.link_id && a.info == b.info && a.flits == b.flits &&
+         a.transitions == b.transitions;
+}
+
 /// Accumulates bit transitions per link and per link class.
 class BtRecorder {
  public:
@@ -67,6 +90,9 @@ class BtRecorder {
   [[nodiscard]] std::uint64_t link_flits(std::int32_t id) const {
     return link_flits_[static_cast<std::size_t>(id)];
   }
+
+  /// Frozen copies of every monitored link's counters, in link-id order.
+  [[nodiscard]] std::vector<LinkObservation> snapshot() const;
 
   /// Flits observed on in-scope links.
   [[nodiscard]] std::uint64_t flits_in_scope() const noexcept;

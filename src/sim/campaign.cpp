@@ -81,12 +81,16 @@ struct VariantOutcome {
   double avg_latency = 0.0;
   double avg_hops = 0.0;
   bool drained = false;
+  std::vector<noc::LinkObservation> links;  ///< frozen per-link counters
 };
 
 /// Drive a synthetic generator's schedule through a fresh network with the
-/// payload ordering of `mode`.
+/// payload ordering of `mode`. `want_links` gates the per-link snapshot:
+/// only the ordered run's links are reported, so the baseline variant
+/// skips copying every link counter of a large mesh.
 VariantOutcome run_traffic_variant(const ScenarioSpec& spec,
-                                   ordering::OrderingMode mode) {
+                                   ordering::OrderingMode mode,
+                                   bool want_links) {
   noc::Network net(spec.noc_config());
   const std::int32_t nodes = spec.rows * spec.cols;
   for (std::int32_t node = 0; node < nodes; ++node)
@@ -126,13 +130,14 @@ VariantOutcome run_traffic_variant(const ScenarioSpec& spec,
   out.avg_latency = net.stats().packet_latency.mean();
   out.avg_hops = net.stats().packet_hops.mean();
   out.drained = true;
+  if (want_links) out.links = net.bt().snapshot();
   return out;
 }
 
 /// Full DNN inference through the accelerator platform (model workloads).
 VariantOutcome run_model_variant(const ScenarioSpec& spec,
                                  ordering::OrderingMode mode,
-                                 const ModelHooks& hooks) {
+                                 const ModelHooks& hooks, bool want_links) {
   if (!hooks.model || !hooks.input)
     throw std::invalid_argument(
         "run_scenario: model workload needs CampaignSpec::hooks");
@@ -152,15 +157,16 @@ VariantOutcome run_model_variant(const ScenarioSpec& spec,
   out.avg_latency = result.noc_stats.packet_latency.mean();
   out.avg_hops = result.noc_stats.packet_hops.mean();
   out.drained = true;
+  if (want_links) out.links = std::move(result.links);
   return out;
 }
 
 VariantOutcome run_variant(const ScenarioSpec& spec,
                            ordering::OrderingMode mode,
-                           const ModelHooks& hooks) {
+                           const ModelHooks& hooks, bool want_links) {
   return spec.generator == GeneratorKind::kModel
-             ? run_model_variant(spec, mode, hooks)
-             : run_traffic_variant(spec, mode);
+             ? run_model_variant(spec, mode, hooks, want_links)
+             : run_traffic_variant(spec, mode, want_links);
 }
 
 }  // namespace
@@ -241,11 +247,15 @@ std::vector<ScenarioSpec> CampaignSpec::expand() const {
 bool operator==(const ScenarioResult& a, const ScenarioResult& b) {
   return a.spec.name == b.spec.name && a.spec.seed == b.spec.seed &&
          a.bt_baseline == b.bt_baseline && a.bt_ordered == b.bt_ordered &&
-         a.reduction == b.reduction && a.cycles == b.cycles &&
+         a.reduction == b.reduction &&
+         a.energy_baseline_pj == b.energy_baseline_pj &&
+         a.energy_pj == b.energy_pj &&
+         a.power_baseline_mw == b.power_baseline_mw &&
+         a.power_mw == b.power_mw && a.cycles == b.cycles &&
          a.packets == b.packets && a.flits == b.flits &&
          a.peak_backlog == b.peak_backlog &&
          a.avg_latency == b.avg_latency && a.avg_hops == b.avg_hops &&
-         a.drained == b.drained && a.error == b.error;
+         a.drained == b.drained && a.links == b.links && a.error == b.error;
 }
 
 ScenarioResult run_scenario(const ScenarioSpec& spec, const ModelHooks& hooks) {
@@ -253,18 +263,28 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, const ModelHooks& hooks) {
   result.spec = spec;
   try {
     spec.validate();
-    const VariantOutcome baseline =
-        run_variant(spec, ordering::OrderingMode::kBaseline, hooks);
+    // Per-link rows come from the ordered run only, so the baseline
+    // variant skips the snapshot — unless it *is* the ordered run.
+    const bool baseline_is_ordered =
+        spec.mode == ordering::OrderingMode::kBaseline;
+    const VariantOutcome baseline = run_variant(
+        spec, ordering::OrderingMode::kBaseline, hooks, baseline_is_ordered);
     const VariantOutcome ordered =
-        spec.mode == ordering::OrderingMode::kBaseline
-            ? baseline
-            : run_variant(spec, spec.mode, hooks);
+        baseline_is_ordered ? baseline
+                            : run_variant(spec, spec.mode, hooks, true);
     result.bt_baseline = baseline.bt;
     result.bt_ordered = ordered.bt;
     result.reduction =
         baseline.bt > 0 ? 1.0 - static_cast<double>(ordered.bt) /
                                     static_cast<double>(baseline.bt)
                         : 0.0;
+    const hw::EnergyModel energy(hw::EnergyModelConfig{
+        spec.energy_per_transition_pj, spec.frequency_mhz});
+    result.energy_baseline_pj = energy.energy_pj(baseline.bt);
+    result.energy_pj = energy.energy_pj(ordered.bt);
+    result.power_baseline_mw = energy.power_mw(baseline.bt, baseline.cycles);
+    result.power_mw = energy.power_mw(ordered.bt, ordered.cycles);
+    result.links = energy.annotate(ordered.links);
     result.cycles = ordered.cycles;
     result.packets = ordered.packets;
     result.flits = ordered.flits;
@@ -318,18 +338,22 @@ CampaignResult run_campaign(const CampaignSpec& spec,
 }
 
 std::string render_table(const CampaignResult& result) {
-  AsciiTable table({"scenario", "O0 BT", "ordered BT", "reduction", "cycles",
-                    "flits", "backlog", "status"});
+  AsciiTable table({"scenario", "O0 BT", "ordered BT", "reduction",
+                    "energy (pJ)", "O0 mW", "mW", "cycles", "flits", "backlog",
+                    "status"});
   for (const ScenarioResult& row : result.rows) {
     if (!row.error.empty() && !row.drained && row.cycles == 0 &&
         row.bt_baseline == 0) {
-      table.add_row({row.spec.name, "-", "-", "-", "-", "-", "-",
-                     "error: " + row.error});
+      table.add_row({row.spec.name, "-", "-", "-", "-", "-", "-", "-", "-",
+                     "-", "error: " + row.error});
       continue;
     }
     table.add_row({row.spec.name, std::to_string(row.bt_baseline),
                    std::to_string(row.bt_ordered),
-                   format_percent(row.reduction), std::to_string(row.cycles),
+                   format_percent(row.reduction),
+                   format_double(row.energy_pj, 1),
+                   format_double(row.power_baseline_mw, 3),
+                   format_double(row.power_mw, 3), std::to_string(row.cycles),
                    std::to_string(row.flits), std::to_string(row.peak_backlog),
                    row.drained ? "ok" : "stalled"});
   }
@@ -343,8 +367,9 @@ std::size_t write_csv_report(const std::string& path,
   CsvWriter csv(path,
                 {"scenario", "generator", "format", "mode", "rows", "cols",
                  "window", "seed", "bt_baseline", "bt_ordered", "reduction",
-                 "cycles", "packets", "flits", "peak_backlog", "avg_latency",
-                 "avg_hops", "drained", "error"});
+                 "energy_baseline_pj", "energy_pj", "power_baseline_mw",
+                 "power_mw", "cycles", "packets", "flits", "peak_backlog",
+                 "avg_latency", "avg_hops", "drained", "error"});
   for (const ScenarioResult& row : result.rows) {
     const ScenarioSpec& s = row.spec;
     csv.add_row({s.name, to_string(s.generator), to_string(s.format),
@@ -352,13 +377,35 @@ std::size_t write_csv_report(const std::string& path,
                  std::to_string(s.cols), std::to_string(s.window),
                  std::to_string(s.seed), std::to_string(row.bt_baseline),
                  std::to_string(row.bt_ordered),
-                 format_double(row.reduction, 6), std::to_string(row.cycles),
+                 format_double(row.reduction, 6),
+                 format_double(row.energy_baseline_pj, 3),
+                 format_double(row.energy_pj, 3),
+                 format_double(row.power_baseline_mw, 6),
+                 format_double(row.power_mw, 6), std::to_string(row.cycles),
                  std::to_string(row.packets), std::to_string(row.flits),
                  std::to_string(row.peak_backlog),
                  format_double(row.avg_latency, 3),
                  format_double(row.avg_hops, 3), row.drained ? "1" : "0",
                  row.error});
   }
+  return csv.rows_written();
+}
+
+std::size_t write_link_heatmap_csv(const std::string& path,
+                                   const CampaignSpec& campaign,
+                                   const CampaignResult& result) {
+  (void)campaign;
+  CsvWriter csv(path, {"scenario", "link_id", "kind", "src", "dst", "src_port",
+                       "flits", "bt", "energy_pj"});
+  for (const ScenarioResult& row : result.rows)
+    for (const hw::LinkEnergyRow& link : row.links)
+      csv.add_row({row.spec.name, std::to_string(link.link_id),
+                   noc::to_string(link.info.kind),
+                   std::to_string(link.info.src),
+                   std::to_string(link.info.dst),
+                   std::to_string(link.info.src_port),
+                   std::to_string(link.flits), std::to_string(link.transitions),
+                   format_double(link.energy_pj, 3)});
   return csv.rows_written();
 }
 
@@ -383,9 +430,15 @@ std::string json_report(const CampaignSpec& campaign,
         // As a string: 64-bit seeds exceed the 2^53 exact-integer range of
         // double-based JSON consumers (jq, JavaScript) and would round.
         .key("seed").value(std::to_string(s.seed))
+        .key("energy_per_transition_pj").value(s.energy_per_transition_pj)
+        .key("frequency_mhz").value(s.frequency_mhz)
         .key("bt_baseline").value(row.bt_baseline)
         .key("bt_ordered").value(row.bt_ordered)
         .key("reduction").value(row.reduction)
+        .key("energy_baseline_pj").value(row.energy_baseline_pj)
+        .key("energy_pj").value(row.energy_pj)
+        .key("power_baseline_mw").value(row.power_baseline_mw)
+        .key("power_mw").value(row.power_mw)
         .key("cycles").value(row.cycles)
         .key("packets").value(row.packets)
         .key("flits").value(row.flits)

@@ -29,6 +29,7 @@
 
 #include "dnn/sequential.h"
 #include "dnn/tensor.h"
+#include "hw/energy_model.h"
 #include "sim/scenario.h"
 
 namespace nocbt::sim {
@@ -94,6 +95,13 @@ struct ScenarioResult {
   std::uint64_t bt_baseline = 0;  ///< in-scope BT under O0 ordering
   std::uint64_t bt_ordered = 0;   ///< in-scope BT under spec.mode
   double reduction = 0.0;         ///< 1 - ordered/baseline (0 when baseline 0)
+  /// Measured link energy/power at the spec's pJ point and clock
+  /// (hw::EnergyModel over the recorded BT counts; §V-C units). Powers
+  /// average each variant's transitions over that variant's own cycles.
+  double energy_baseline_pj = 0.0;
+  double energy_pj = 0.0;          ///< ordered-run link energy
+  double power_baseline_mw = 0.0;
+  double power_mw = 0.0;           ///< ordered-run average link power
   std::uint64_t cycles = 0;       ///< drain time of the ordered run
   std::uint64_t packets = 0;      ///< packets delivered (ordered run)
   std::uint64_t flits = 0;        ///< flits delivered (ordered run)
@@ -101,6 +109,9 @@ struct ScenarioResult {
   double avg_latency = 0.0;
   double avg_hops = 0.0;
   bool drained = false;           ///< false = hit the max_cycles stall guard
+  /// Per-link measurements of the ordered run (every monitored link, in
+  /// link-id order) — the rows of the heatmap CSV.
+  std::vector<hw::LinkEnergyRow> links;
   std::string error;
 };
 
@@ -134,6 +145,13 @@ struct RunnerConfig {
 std::size_t write_csv_report(const std::string& path,
                              const CampaignSpec& campaign,
                              const CampaignResult& result);
+
+/// Per-link "heatmap" CSV: one row per monitored link per scenario
+/// (scenario, link id, kind, src -> dst, flits, BT, energy in pJ), for
+/// hotspot analysis across meshes. Returns rows written.
+std::size_t write_link_heatmap_csv(const std::string& path,
+                                   const CampaignSpec& campaign,
+                                   const CampaignResult& result);
 
 /// Machine-readable report: campaign metadata + one JSON object per
 /// scenario. Deliberately excludes wall-clock and thread-count fields so

@@ -68,6 +68,12 @@ void ScenarioSpec::validate() const {
       static_cast<std::int64_t>(rows) * cols > (std::int64_t{1} << 24))
     throw std::invalid_argument(
         "ScenarioSpec: mesh dimensions out of range (max 2^24 nodes)");
+  // Negated tests so NaN fails too. Checked before the model-workload early
+  // return: every scenario's BT counts get converted to energy/power.
+  if (!(energy_per_transition_pj > 0.0) || !(frequency_mhz > 0.0))
+    throw std::invalid_argument(
+        "ScenarioSpec: energy_per_transition_pj and frequency_mhz must be "
+        "positive");
   if (generator == GeneratorKind::kModel) {
     if (num_mcs < 1 || num_mcs >= rows * cols)
       throw std::invalid_argument("ScenarioSpec: bad MC count for model workload");

@@ -75,6 +75,12 @@ struct ScenarioSpec {
   std::uint64_t model_seed = 42;   ///< kModel: model factory seed
   std::uint64_t input_seed = 7;    ///< kModel: input factory seed
 
+  /// Link-energy reporting (§V-C units). The defaults are the paper's
+  /// Innovus-extracted point at its 125 MHz link clock; 0.532 selects
+  /// Banerjee's model (hw::kInnovusEnergyPj / hw::kBanerjeeEnergyPj).
+  double energy_per_transition_pj = 0.173;
+  double frequency_mhz = 125.0;
+
   std::uint64_t seed = 1;          ///< derived per-scenario by expansion
   std::uint64_t max_cycles = 5'000'000;  ///< per-variant stall guard
 

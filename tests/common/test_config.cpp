@@ -53,6 +53,31 @@ TEST(Options, ParseFileMissingFileThrows) {
                std::runtime_error);
 }
 
+TEST(Options, GetIntRejectsTrailingGarbage) {
+  // stoll alone accepts "32abc" as 32, so a typo'd campaign config would
+  // silently run the wrong sweep; the whole value must parse.
+  const Options opts = parse_args({"window=32abc", "ok=32", "neg=-7",
+                                   "hex=0x10", "spaced=32 ", "empty="});
+  EXPECT_THROW(opts.get_int("window", 0), std::invalid_argument);
+  EXPECT_THROW(opts.get_int("hex", 0), std::invalid_argument);
+  EXPECT_THROW(opts.get_int("spaced", 0), std::invalid_argument);
+  EXPECT_THROW(opts.get_int("empty", 0), std::invalid_argument);
+  EXPECT_EQ(opts.get_int("ok", 0), 32);
+  EXPECT_EQ(opts.get_int("neg", 0), -7);
+  EXPECT_EQ(opts.get_int("missing", 5), 5);
+}
+
+TEST(Options, GetDoubleRejectsTrailingGarbage) {
+  const Options opts = parse_args({"rate=0.5x", "exp=1e3junk", "ok=0.25",
+                                   "sci=1e-3", "empty="});
+  EXPECT_THROW(opts.get_double("rate", 0.0), std::invalid_argument);
+  EXPECT_THROW(opts.get_double("exp", 0.0), std::invalid_argument);
+  EXPECT_THROW(opts.get_double("empty", 0.0), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(opts.get_double("ok", 0.0), 0.25);
+  EXPECT_DOUBLE_EQ(opts.get_double("sci", 0.0), 1e-3);
+  EXPECT_DOUBLE_EQ(opts.get_double("missing", 2.5), 2.5);
+}
+
 TEST(Options, MergeDefaultsPrefersExplicitValues) {
   Options cli = parse_args({"threads=4", "json=out.json"});
   const std::string path = testing::TempDir() + "nocbt_options_merge.cfg";

@@ -12,11 +12,26 @@ namespace nocbt {
 namespace {
 
 TEST(FixedPoint, ConstructorValidatesArguments) {
+  // bits = 0 is the nastiest case: before the width gate moved ahead of
+  // the member-init list, `1 << (bits - 1)` shifted by 4294967295 (UB,
+  // caught by UBSan) before the constructor body could throw.
+  EXPECT_THROW(FixedPointCodec(0, 1.0), std::invalid_argument);
   EXPECT_THROW(FixedPointCodec(1, 1.0), std::invalid_argument);
   EXPECT_THROW(FixedPointCodec(17, 1.0), std::invalid_argument);
   EXPECT_THROW(FixedPointCodec(8, 0.0), std::invalid_argument);
   EXPECT_THROW(FixedPointCodec(8, -1.0), std::invalid_argument);
   EXPECT_NO_THROW(FixedPointCodec(8, 0.01));
+  EXPECT_NO_THROW(FixedPointCodec(2, 1.0));
+  EXPECT_NO_THROW(FixedPointCodec(16, 1.0));
+}
+
+TEST(FixedPoint, CalibrateValidatesBitsBeforeShifting) {
+  // calibrate used to compute (1 << (bits - 1)) before constructing the
+  // codec, hitting the same UB for out-of-range widths.
+  std::vector<float> values = {0.5f, -0.25f};
+  EXPECT_THROW(FixedPointCodec::calibrate(0, values), std::invalid_argument);
+  EXPECT_THROW(FixedPointCodec::calibrate(1, values), std::invalid_argument);
+  EXPECT_THROW(FixedPointCodec::calibrate(17, values), std::invalid_argument);
 }
 
 TEST(FixedPoint, EightBitRangeIsSymmetric) {

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "hw/gate_model.h"
 #include "hw/link_energy.h"
 
@@ -96,6 +98,18 @@ TEST(LinkEnergy, MeshLinkCount) {
   EXPECT_EQ(mesh_bidirectional_links(8, 8), 112u);
   EXPECT_EQ(mesh_bidirectional_links(4, 4), 24u);
   EXPECT_EQ(mesh_bidirectional_links(1, 2), 1u);
+}
+
+TEST(LinkEnergy, MeshLinkCountDegenerateShapes) {
+  // 1xN / Nx1 chains are legal (N-1 links); a 1x1 mesh has no links at
+  // all. A 0 dimension used to underflow (cols - 1) in unsigned
+  // arithmetic and report a huge link count — it must throw instead.
+  EXPECT_EQ(mesh_bidirectional_links(1, 8), 7u);
+  EXPECT_EQ(mesh_bidirectional_links(8, 1), 7u);
+  EXPECT_EQ(mesh_bidirectional_links(1, 1), 0u);
+  EXPECT_THROW(mesh_bidirectional_links(0, 8), std::invalid_argument);
+  EXPECT_THROW(mesh_bidirectional_links(8, 0), std::invalid_argument);
+  EXPECT_THROW(mesh_bidirectional_links(0, 0), std::invalid_argument);
 }
 
 TEST(LinkEnergy, TransitionsToJoules) {

@@ -299,6 +299,99 @@ TEST(Campaign, EveryStrategyModeRunsAndAppearsInTheReportTable) {
         << "mode " << ordering::short_mode_name(mode) << " missing from table";
 }
 
+TEST(Campaign, EnergyColumnsFollowBtCounts) {
+  // The measured energy/power columns are pure arithmetic over the BT
+  // counts at the spec's pJ point and clock — pin the relations.
+  CampaignSpec camp = small_campaign();
+  camp.generators = {GeneratorKind::kUniform};
+  camp.formats = {DataFormat::kFixed8};
+  camp.modes = {ordering::OrderingMode::kSeparated};
+  camp.base.packets = 64;
+  camp.windows = {64};
+  camp.base.energy_per_transition_pj = 0.5;  // easy arithmetic
+  camp.base.frequency_mhz = 200.0;
+  const auto result = run_campaign(camp);
+  ASSERT_EQ(result.rows.size(), 1u);
+  const ScenarioResult& row = result.rows[0];
+  ASSERT_TRUE(row.error.empty()) << row.error;
+  EXPECT_DOUBLE_EQ(row.energy_baseline_pj,
+                   static_cast<double>(row.bt_baseline) * 0.5);
+  EXPECT_DOUBLE_EQ(row.energy_pj, static_cast<double>(row.bt_ordered) * 0.5);
+  ASSERT_GT(row.cycles, 0u);
+  // P(mW) = BT * pJ * f_MHz / cycles / 1e3 (ordered run over its cycles).
+  EXPECT_DOUBLE_EQ(row.power_mw, static_cast<double>(row.bt_ordered) * 0.5 *
+                                     200.0 /
+                                     static_cast<double>(row.cycles) / 1e3);
+  EXPECT_GT(row.power_baseline_mw, 0.0);
+  // Ordering reduces BT on laplace fixed-8, so energy must drop with it.
+  EXPECT_LT(row.energy_pj, row.energy_baseline_pj);
+}
+
+TEST(Campaign, PerLinkRowsCoverTheMeshAndSumToScopedBt) {
+  CampaignSpec camp = small_campaign();
+  camp.generators = {GeneratorKind::kUniform};
+  camp.formats = {DataFormat::kFixed8};
+  camp.modes = {ordering::OrderingMode::kSeparated};
+  const auto result = run_campaign(camp);
+  ASSERT_EQ(result.rows.size(), 1u);
+  const ScenarioResult& row = result.rows[0];
+  ASSERT_TRUE(row.error.empty()) << row.error;
+
+  // A 4x4 mesh taps 16 injection + 16 ejection + 48 inter-router links.
+  ASSERT_EQ(row.links.size(), 16u + 16u + 48u);
+  std::uint64_t scoped_bt = 0;
+  std::uint64_t delivered_flits = 0;
+  for (const hw::LinkEnergyRow& link : row.links) {
+    EXPECT_DOUBLE_EQ(link.energy_pj,
+                     static_cast<double>(link.transitions) *
+                         row.spec.energy_per_transition_pj);
+    if (link.info.kind != noc::LinkKind::kInjection)
+      scoped_bt += link.transitions;
+    if (link.info.kind == noc::LinkKind::kEjection)
+      delivered_flits += link.flits;
+  }
+  // Default scope (inter-router + ejection) must reproduce bt_ordered.
+  EXPECT_EQ(scoped_bt, row.bt_ordered);
+  // Every delivered flit crossed exactly one ejection link.
+  EXPECT_EQ(delivered_flits, row.flits);
+}
+
+TEST(Campaign, HeatmapCsvHitsDisk) {
+  CampaignSpec camp = small_campaign();
+  camp.generators = {GeneratorKind::kUniform};
+  camp.formats = {DataFormat::kFixed8};
+  const auto result = run_campaign(camp);
+  std::size_t expected_rows = 0;
+  for (const auto& row : result.rows) expected_rows += row.links.size();
+  ASSERT_GT(expected_rows, 0u);
+
+  const std::string path = testing::TempDir() + "nocbt_campaign_heatmap.csv";
+  EXPECT_EQ(write_link_heatmap_csv(path, camp, result), expected_rows);
+  std::ifstream in(path);
+  std::string header;
+  ASSERT_TRUE(std::getline(in, header));
+  EXPECT_EQ(header,
+            "scenario,link_id,kind,src,dst,src_port,flits,bt,energy_pj");
+  std::size_t data_lines = 0;
+  std::string line;
+  while (std::getline(in, line))
+    if (!line.empty()) ++data_lines;
+  EXPECT_EQ(data_lines, expected_rows);
+}
+
+TEST(Campaign, BadEnergyKnobsAreContainedAsErrorRows) {
+  CampaignSpec camp = small_campaign();
+  camp.generators = {GeneratorKind::kUniform};
+  camp.formats = {DataFormat::kFixed8};
+  camp.modes = {ordering::OrderingMode::kBaseline};
+  camp.base.energy_per_transition_pj = 0.0;
+  const auto result = run_campaign(camp);
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_NE(result.rows[0].error.find("energy_per_transition_pj"),
+            std::string::npos)
+      << result.rows[0].error;
+}
+
 TEST(Campaign, RenderTableHasOneRowPerScenario) {
   const CampaignSpec camp = small_campaign();
   const auto result = run_campaign(camp, RunnerConfig{2, nullptr});
