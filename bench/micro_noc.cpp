@@ -1,10 +1,32 @@
 // Micro-benchmarks (google-benchmark) for the NoC simulator: cycle
 // throughput under load and end-to-end packet transport cost.
+//
+// Two modes:
+//   $ ./micro_noc [--benchmark_* flags]     # google-benchmark harness
+//   $ ./micro_noc --json BENCH_noc.json
+//
+// The --json mode is the machine-readable perf baseline for the simulation
+// engine: it drives identical injection schedules through the active-set
+// engine and the retained full-scan reference, verifies the two produce
+// byte-identical results (BT, cycles, packets), self-times both step
+// loops, and writes one JSON document (via common/json_writer) that CI
+// uploads as an artifact and gates on: the active-set engine must be >= 2x
+// the full scan on sparse 16x16 traffic.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/json_writer.h"
 #include "common/rng.h"
 #include "noc/network.h"
+#include "noc/sim_profiler.h"
 
 using namespace nocbt;
 using namespace nocbt::noc;
@@ -50,6 +72,33 @@ void BM_NetworkStepUnderLoad(benchmark::State& state) {
 }
 BENCHMARK(BM_NetworkStepUnderLoad)->Arg(4)->Arg(8);
 
+void BM_NetworkStepSparse(benchmark::State& state) {
+  // One 4-flit packet every 64 cycles on a 16x16 mesh: the regime the
+  // active-set engine (range(1) == 0) exists for, vs. the full scan (1).
+  NocConfig cfg;
+  cfg.rows = 16;
+  cfg.cols = 16;
+  cfg.flit_payload_bits = 128;
+  cfg.engine = state.range(0) == 0 ? SimEngine::kActiveSet
+                                   : SimEngine::kFullScan;
+  Network net(cfg);
+  Rng rng(2);
+  const std::int32_t n = cfg.node_count();
+  for (std::int32_t node = 0; node < n; ++node)
+    net.set_sink(node, [](Packet&&, std::uint64_t) {});
+  for (auto _ : state) {
+    if (net.cycle() % 64 == 0) {
+      const auto src = static_cast<std::int32_t>(rng.uniform_int(0, n - 1));
+      auto dst = static_cast<std::int32_t>(rng.uniform_int(0, n - 1));
+      if (dst == src) dst = (dst + 1) % n;
+      net.inject(src, dst, random_payloads(128, 4, rng));
+    }
+    net.step();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(net.cycle()));
+}
+BENCHMARK(BM_NetworkStepSparse)->Arg(0)->Arg(1);
+
 void BM_SinglePacketLatency(benchmark::State& state) {
   NocConfig cfg;
   cfg.rows = 8;
@@ -82,6 +131,171 @@ void BM_BtRecorderObserve(benchmark::State& state) {
 }
 BENCHMARK(BM_BtRecorderObserve);
 
+// ---------------------------------------------------------------------------
+// --json mode: self-timed engine baseline written through JsonWriter.
+
+/// Deterministic outcome + wall-clock of one scheduled run.
+struct EngineRun {
+  std::uint64_t bt = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t packets = 0;
+  double skip_ratio = 0.0;
+  double seconds = 0.0;
+};
+
+/// Drive `sim_cycles` step() calls injecting one `flits`-flit packet every
+/// `gap` cycles (uniform-random endpoints), then drain. The schedule is a
+/// pure function of `seed`, so two engines given the same seed see
+/// byte-identical traffic.
+EngineRun run_schedule(SimEngine engine, std::int32_t dim,
+                       std::uint64_t sim_cycles, std::uint64_t gap, int flits,
+                       std::uint64_t seed) {
+  NocConfig cfg;
+  cfg.rows = dim;
+  cfg.cols = dim;
+  cfg.flit_payload_bits = 128;
+  cfg.engine = engine;
+  Network net(cfg);
+  const std::int32_t n = cfg.node_count();
+  for (std::int32_t node = 0; node < n; ++node)
+    net.set_sink(node, [](Packet&&, std::uint64_t) {});
+
+  Rng rng(seed);
+  const WallTimer timer;
+  for (std::uint64_t c = 0; c < sim_cycles; ++c) {
+    if (c % gap == 0) {
+      const auto src = static_cast<std::int32_t>(rng.uniform_int(0, n - 1));
+      auto dst = static_cast<std::int32_t>(rng.uniform_int(0, n - 1));
+      if (dst == src) dst = (dst + 1) % n;
+      net.inject(src, dst, random_payloads(128, flits, rng));
+    }
+    net.step();
+  }
+  if (!net.run_until_idle(1'000'000)) {
+    std::fprintf(stderr, "micro_noc: schedule failed to drain\n");
+    std::exit(1);
+  }
+
+  EngineRun run;
+  run.seconds = timer.seconds();
+  run.bt = net.bt().total();
+  run.cycles = net.cycle();
+  run.packets = net.stats().packets_delivered;
+  run.skip_ratio = net.stats().sim.skip_ratio();
+  return run;
+}
+
+/// Repeat the schedule until ~150ms of wall-clock accumulates; returns the
+/// last run's deterministic outcome with the averaged throughput.
+EngineRun measure(SimEngine engine, std::int32_t dim, std::uint64_t sim_cycles,
+                  std::uint64_t gap, int flits, std::uint64_t seed,
+                  double* mcycles_per_s) {
+  EngineRun last = run_schedule(engine, dim, sim_cycles, gap, flits, seed);
+  double total_s = last.seconds;
+  std::uint64_t total_cycles = last.cycles;
+  while (total_s < 0.15) {
+    last = run_schedule(engine, dim, sim_cycles, gap, flits, seed);
+    total_s += last.seconds;
+    total_cycles += last.cycles;
+  }
+  *mcycles_per_s = static_cast<double>(total_cycles) / total_s / 1e6;
+  return last;
+}
+
+struct JsonScenario {
+  const char* name;
+  std::int32_t dim;
+  std::uint64_t sim_cycles;
+  std::uint64_t gap;
+  int flits;
+};
+
+int run_json_bench(const std::string& path) {
+  // The gated scenario is the sparse 16x16 mesh (one short packet every 64
+  // cycles — the paper-scale sweep regime where almost every component is
+  // quiescent); the dense 4x4 row documents the engine's behavior when
+  // skipping cannot help.
+  const JsonScenario scenarios[] = {
+      {"sparse_16x16", 16, 20'000, 64, 4},
+      {"dense_4x4", 4, 20'000, 1, 4},
+  };
+
+  JsonWriter json;
+  json.begin_object().key("bench").value("micro_noc");
+  json.key("scenarios").begin_array();
+  double sparse_speedup = 0.0;
+  for (const JsonScenario& sc : scenarios) {
+    double full_mcps = 0.0;
+    double active_mcps = 0.0;
+    const EngineRun full = measure(SimEngine::kFullScan, sc.dim, sc.sim_cycles,
+                                   sc.gap, sc.flits, 11, &full_mcps);
+    const EngineRun active =
+        measure(SimEngine::kActiveSet, sc.dim, sc.sim_cycles, sc.gap,
+                sc.flits, 11, &active_mcps);
+    // Correctness gate before reporting: both engines must agree exactly
+    // (the differential test suite pins this too, but a perf baseline over
+    // diverging engines would be meaningless).
+    if (full.bt != active.bt || full.cycles != active.cycles ||
+        full.packets != active.packets) {
+      std::fprintf(stderr,
+                   "micro_noc: engine mismatch on %s (bt %llu/%llu, cycles "
+                   "%llu/%llu, packets %llu/%llu)\n",
+                   sc.name, static_cast<unsigned long long>(full.bt),
+                   static_cast<unsigned long long>(active.bt),
+                   static_cast<unsigned long long>(full.cycles),
+                   static_cast<unsigned long long>(active.cycles),
+                   static_cast<unsigned long long>(full.packets),
+                   static_cast<unsigned long long>(active.packets));
+      return 1;
+    }
+    const double speedup = active_mcps / full_mcps;
+    if (std::string(sc.name) == "sparse_16x16") sparse_speedup = speedup;
+    json.begin_object()
+        .key("name").value(sc.name)
+        .key("rows").value(static_cast<std::int64_t>(sc.dim))
+        .key("cols").value(static_cast<std::int64_t>(sc.dim))
+        .key("inject_gap_cycles").value(sc.gap)
+        .key("flits_per_packet").value(static_cast<std::int64_t>(sc.flits))
+        .key("cycles").value(active.cycles)
+        .key("packets").value(active.packets)
+        .key("bt").value(active.bt)
+        .key("skip_ratio").value(active.skip_ratio)
+        .key("fullscan_mcycles_per_s").value(full_mcps)
+        .key("active_mcycles_per_s").value(active_mcps)
+        .key("speedup").value(speedup)
+        .end_object();
+  }
+  json.end_array();
+  // The CI gate: active-set step-loop throughput vs. the full scan on the
+  // sparse 16x16 scenario.
+  json.key("active_speedup").value(sparse_speedup);
+  json.end_object();
+
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "micro_noc: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  out << json.take() << '\n';
+  if (!out) {
+    std::fprintf(stderr, "micro_noc: write failed for %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (active-set speedup %.2fx on sparse 16x16)\n",
+              path.c_str(), sparse_speedup);
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+      return run_json_bench(argv[i + 1]);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -24,6 +24,12 @@
 // energy (pJ) and average power (mW) per scenario. `heatmap=FILE` writes
 // a per-link CSV (link id, kind, src->dst, flits, BT, energy) for
 // hotspot analysis.
+//
+// `engine=active|fullscan` selects the step-loop engine (the full-scan
+// reference produces identical numbers, only slower — useful for
+// differential runs), and `profile=FILE` writes the step-loop profile CSV
+// (wall-clock per variant, cycles stepped vs. idle-skipped, component
+// steps run vs. skipped, skip ratio).
 
 #include <cstdio>
 #include <exception>
@@ -42,21 +48,6 @@
 using namespace nocbt;
 
 namespace {
-
-std::vector<std::string> split_list(const std::string& csv) {
-  std::vector<std::string> out;
-  std::size_t start = 0;
-  while (start <= csv.size()) {
-    const std::size_t comma = csv.find(',', start);
-    if (comma == std::string::npos) {
-      if (start < csv.size()) out.push_back(csv.substr(start));
-      break;
-    }
-    if (comma > start) out.push_back(csv.substr(start, comma - start));
-    start = comma + 1;
-  }
-  return out;
-}
 
 /// get_int with a range gate, so a negative or absurd value fails with a
 /// clear message instead of wrapping through an unsigned cast.
@@ -82,7 +73,8 @@ void check_known_keys(const Options& opts) {
       "dist_a",   "dist_b",     "hotspot_fraction",          "hotspot_node",
       "burst_len", "burst_gap", "trace",       "model_seed", "input_seed",
       "max_cycles", "threads",  "progress",    "describe",   "csv",
-      "json",     "energy_pj",  "freq_mhz",    "heatmap"};
+      "json",     "energy_pj",  "freq_mhz",    "heatmap",    "engine",
+      "profile"};
   for (const auto& [key, value] : opts.values())
     if (known.count(key) == 0)
       throw std::invalid_argument("unknown option '" + key +
@@ -97,18 +89,18 @@ sim::CampaignSpec build_campaign(const Options& opts) {
       static_cast<std::uint32_t>(get_bounded(opts, "replicates", 1, 1, 1024));
 
   camp.generators.clear();
-  for (const auto& g : split_list(opts.get_string("generators", "uniform")))
+  for (const auto& g : split_csv_list(opts.get_string("generators", "uniform")))
     camp.generators.push_back(sim::parse_generator_kind(g));
   camp.formats.clear();
-  for (const auto& f : split_list(opts.get_string("formats", "float32,fixed8")))
+  for (const auto& f : split_csv_list(opts.get_string("formats", "float32,fixed8")))
     camp.formats.push_back(parse_data_format(f));
   camp.modes =
       ordering::parse_ordering_mode_list(opts.get_string("modes", "O0,O1,O2"));
   camp.meshes.clear();
-  for (const auto& m : split_list(opts.get_string("meshes", "4x4")))
+  for (const auto& m : split_csv_list(opts.get_string("meshes", "4x4")))
     camp.meshes.push_back(sim::parse_mesh_spec(m));
   camp.windows.clear();
-  for (const auto& w : split_list(opts.get_string("windows", "64"))) {
+  for (const auto& w : split_csv_list(opts.get_string("windows", "64"))) {
     std::int64_t parsed = -1;
     try {
       parsed = parse_int_strict(w);
@@ -152,6 +144,7 @@ sim::CampaignSpec build_campaign(const Options& opts) {
   base.frequency_mhz = opts.get_double("freq_mhz", 125.0);
   if (!(base.frequency_mhz > 0.0))
     throw std::invalid_argument("option 'freq_mhz' must be positive");
+  base.engine = noc::parse_sim_engine(opts.get_string("engine", "active"));
   base.model_seed = static_cast<std::uint64_t>(opts.get_int("model_seed", 42));
   base.input_seed = static_cast<std::uint64_t>(opts.get_int("input_seed", 7));
   base.max_cycles = static_cast<std::uint64_t>(get_bounded(
@@ -234,6 +227,11 @@ int main(int argc, char** argv) {
           sim::write_link_heatmap_csv(heatmap_path, camp, result);
       std::printf("wrote per-link heatmap CSV to %s (%zu link rows)\n",
                   heatmap_path.c_str(), rows);
+    }
+    const std::string profile_path = opts.get_string("profile", "");
+    if (!profile_path.empty()) {
+      sim::write_profile_csv(profile_path, camp, result);
+      std::printf("wrote step-loop profile CSV to %s\n", profile_path.c_str());
     }
 
     std::size_t failed = 0;

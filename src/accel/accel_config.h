@@ -29,6 +29,11 @@ struct AccelConfig {
   /// ordering) or the pipeline cannot fill and throughput collapses.
   std::uint32_t prefetch_depth = 32;
   std::uint64_t max_cycles_per_layer = 20'000'000;  ///< stall guard
+  /// Cycle budget for the final drain after the last layer (result credits
+  /// still in flight). NocDnaPlatform::run throws if the network has not
+  /// gone idle within this many cycles — a silent truncation would leave
+  /// in-flight state uncounted.
+  std::uint64_t drain_max_cycles = 100'000;
 
   /// Value-slot geometry implied by link width and data format.
   [[nodiscard]] FlitLayout layout() const {
@@ -46,6 +51,9 @@ struct AccelConfig {
       throw std::invalid_argument("AccelConfig: need an even number of >= 2 value slots");
     if (num_mcs < 1 || num_mcs >= noc.node_count())
       throw std::invalid_argument("AccelConfig: bad MC count");
+    if (drain_max_cycles < 1)
+      throw std::invalid_argument(
+          "AccelConfig: drain_max_cycles must be >= 1");
   }
 
   /// Paper defaults: 16 value slots per flit (512-bit links for float-32,

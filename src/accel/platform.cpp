@@ -7,6 +7,7 @@
 #include "accel/packet_builder.h"
 #include "accel/task.h"
 #include "common/float_bits.h"
+#include "noc/sim_profiler.h"
 #include "ordering/ordering_unit.h"
 
 namespace nocbt::accel {
@@ -163,6 +164,7 @@ InferenceResult NocDnaPlatform::run(const dnn::Tensor& input) {
     layer_stats.layer_index = static_cast<std::int32_t>(li);
     layer_stats.layer_name = layer.name();
     layer_stats.tasks = tasks.size();
+    const noc::WallTimer layer_timer;
     const std::uint64_t bt_at_start = net.bt().total();
     const std::uint64_t cycles_at_start = net.cycle();
     const std::uint64_t flits_at_start = net.stats().flits_injected;
@@ -251,6 +253,7 @@ InferenceResult NocDnaPlatform::run(const dnn::Tensor& input) {
     layer_stats.result_packets = tasks.size();
     layer_stats.cycles = net.cycle() - cycles_at_start;
     layer_stats.bt = net.bt().total() - bt_at_start;
+    layer_stats.wall_ms = layer_timer.millis();
     (void)flits_at_start;
     result.layers.push_back(std::move(layer_stats));
 
@@ -261,8 +264,17 @@ InferenceResult NocDnaPlatform::run(const dnn::Tensor& input) {
     active_codecs = nullptr;
   }
 
-  // Drain any remaining credits so the network ends quiescent.
-  net.run_until_idle(100'000);
+  // Drain any remaining credits so the network ends quiescent. A network
+  // that cannot drain within the budget means in-flight state would be
+  // silently dropped from the results — fail loudly instead.
+  if (!net.run_until_idle(config_.drain_max_cycles))
+    throw std::runtime_error(
+        "NocDnaPlatform: network failed to drain within " +
+        std::to_string(config_.drain_max_cycles) +
+        " cycles after the last layer (" +
+        std::to_string(net.buffered_flits()) +
+        " flits still buffered; raise AccelConfig::drain_max_cycles or "
+        "investigate the stall)");
 
   result.output = std::move(current);
   result.total_cycles = net.cycle();

@@ -35,6 +35,7 @@ struct LayerRunStats {
   std::uint64_t data_flits = 0;
   std::uint64_t cycles = 0;      ///< cycles spent in this layer's NoC phase
   std::uint64_t bt = 0;          ///< in-scope BT accumulated in this phase
+  double wall_ms = 0.0;          ///< host wall-clock of this phase (profiling)
 };
 
 /// Result of one full inference on the platform.

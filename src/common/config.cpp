@@ -23,6 +23,18 @@ double parse_double_strict(const std::string& s) {
   return v;
 }
 
+std::vector<std::string> split_csv_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start < csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::size_t end = comma == std::string::npos ? csv.size() : comma;
+    if (end > start) out.push_back(csv.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
 Options Options::parse(int argc, char** argv) {
   Options opts;
   for (int i = 1; i < argc; ++i) {

@@ -6,6 +6,7 @@
 #include <map>
 #include <span>
 #include <string>
+#include <vector>
 
 namespace nocbt {
 
@@ -15,6 +16,11 @@ namespace nocbt {
 /// pos-check idiom — Options getters and other CLI parsers build on these.
 [[nodiscard]] std::int64_t parse_int_strict(const std::string& s);
 [[nodiscard]] double parse_double_strict(const std::string& s);
+
+/// Split a comma-separated list into its non-empty elements ("a,,b" ->
+/// {"a", "b"}, "" -> {}). The shared helper behind every list-valued CLI
+/// knob (generators=, meshes=, modes=, ...).
+[[nodiscard]] std::vector<std::string> split_csv_list(const std::string& csv);
 
 /// Parses arguments of the form `key=value`; anything else throws.
 /// Typed getters fall back to a default when the key is absent and throw

@@ -1,5 +1,6 @@
 #include "noc/network.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace nocbt::noc {
@@ -7,12 +8,19 @@ namespace nocbt::noc {
 Network::Network(const NocConfig& cfg)
     : cfg_(cfg),
       shape_(cfg.rows, cfg.cols),
-      bt_(cfg.bt_scope, cfg.flit_payload_bits) {
+      bt_(cfg.bt_scope, cfg.flit_payload_bits),
+      active_engine_(cfg.engine == SimEngine::kActiveSet) {
   cfg_.validate();
+  const std::size_t comps = 2 * static_cast<std::size_t>(shape_.node_count());
+  scheduled_.assign(comps, 0);
+  run_list_.reserve(comps);
+  next_list_.reserve(comps);
+  wheel_.resize(static_cast<std::size_t>(cfg_.channel_latency) + 1);
   build();
 }
 
-Channel<Flit>* Network::new_flit_channel(const LinkInfo& info) {
+Channel<Flit>* Network::new_flit_channel(const LinkInfo& info,
+                                         std::int32_t consumer) {
   flit_channels_.emplace_back(cfg_.channel_latency);
   Channel<Flit>* ch = &flit_channels_.back();
   const std::int32_t link_id = bt_.register_link(info);
@@ -20,28 +28,35 @@ Channel<Flit>* Network::new_flit_channel(const LinkInfo& info) {
   ch->set_observer([recorder, link_id](const Flit& flit) {
     recorder->observe(link_id, flit.payload);
   });
+  if (active_engine_) ch->set_waker(this, consumer);
   return ch;
 }
 
-Channel<Credit>* Network::new_credit_channel() {
+Channel<Credit>* Network::new_credit_channel(std::int32_t consumer) {
   credit_channels_.emplace_back(cfg_.channel_latency);
-  return &credit_channels_.back();
+  Channel<Credit>* ch = &credit_channels_.back();
+  if (active_engine_) ch->set_waker(this, consumer);
+  return ch;
 }
 
 void Network::build() {
   const std::int32_t n = shape_.node_count();
+  // Component ids for the waker: NI of node i is comp i, router i is n + i.
+  const auto router_comp = [n](std::int32_t node) { return n + node; };
   for (std::int32_t i = 0; i < n; ++i) routers_.emplace_back(cfg_, shape_, i);
   for (std::int32_t i = 0; i < n; ++i) nis_.emplace_back(cfg_, i);
 
   // Inter-router links: one flit channel + one reverse credit channel per
-  // directed adjacency.
+  // directed adjacency. Flits are consumed by the downstream router;
+  // returned credits by the upstream one.
   for (std::int32_t node = 0; node < n; ++node) {
     for (Port port : {kEast, kWest, kNorth, kSouth}) {
       const std::int32_t nbr = shape_.neighbor(node, port);
       if (nbr < 0) continue;
       Channel<Flit>* flits = new_flit_channel(
-          LinkInfo{LinkKind::kInterRouter, node, nbr, port});
-      Channel<Credit>* credits = new_credit_channel();
+          LinkInfo{LinkKind::kInterRouter, node, nbr, port},
+          router_comp(nbr));
+      Channel<Credit>* credits = new_credit_channel(router_comp(node));
       routers_[node].connect_output(port, flits, credits);
       routers_[nbr].connect_input(opposite(port), flits, credits);
     }
@@ -50,14 +65,14 @@ void Network::build() {
   // NI <-> router local-port links.
   for (std::int32_t node = 0; node < n; ++node) {
     Channel<Flit>* inj = new_flit_channel(
-        LinkInfo{LinkKind::kInjection, node, node, -1});
-    Channel<Credit>* inj_credits = new_credit_channel();
+        LinkInfo{LinkKind::kInjection, node, node, -1}, router_comp(node));
+    Channel<Credit>* inj_credits = new_credit_channel(node);
     nis_[node].connect_injection(inj, inj_credits);
     routers_[node].connect_input(kLocal, inj, inj_credits);
 
     Channel<Flit>* ej = new_flit_channel(
-        LinkInfo{LinkKind::kEjection, node, node, kLocal});
-    Channel<Credit>* ej_credits = new_credit_channel();
+        LinkInfo{LinkKind::kEjection, node, node, kLocal}, node);
+    Channel<Credit>* ej_credits = new_credit_channel(router_comp(node));
     routers_[node].connect_output(kLocal, ej, ej_credits);
     nis_[node].connect_ejection(ej, ej_credits);
   }
@@ -110,14 +125,102 @@ std::uint64_t Network::inject(std::int32_t src, std::int32_t dst,
   stats_.flits_injected += packet.payloads.size();
   const std::uint64_t id = packet.id;
   nis_[src].enqueue(std::move(packet));
+  if (active_engine_) activate_ni(src);
   return id;
 }
 
+void Network::wake(std::int32_t comp, std::uint64_t cycle) {
+  // Arrival cycles land in (cycle_, cycle_ + channel_latency]; the wheel's
+  // channel_latency + 1 slots map each reachable cycle to a distinct slot,
+  // and the slot for the cycle being stepped has already been drained.
+  wheel_[cycle % wheel_.size()].push_back(comp);
+  ++wheel_count_;
+}
+
+void Network::activate_ni(std::int32_t node) {
+  if (!stepping_) {
+    // Between steps: schedule for the upcoming step() (this cycle).
+    if (!scheduled_[static_cast<std::size_t>(node)]) {
+      scheduled_[static_cast<std::size_t>(node)] = 1;
+      run_list_.push_back(node);
+    }
+    return;
+  }
+  // Mid-step (a sink callback injected): the full scan visits NIs in node
+  // order, so a target the scan has not reached yet must still run this
+  // cycle; one at or before the current position runs next cycle.
+  if (node > current_comp_) {
+    if (!scheduled_[static_cast<std::size_t>(node)]) {
+      scheduled_[static_cast<std::size_t>(node)] = 1;
+      run_list_.insert(std::lower_bound(run_list_.begin() +
+                                            static_cast<std::ptrdiff_t>(
+                                                run_pos_ + 1),
+                                        run_list_.end(), node),
+                       node);
+    }
+  } else {
+    // Already stepped (or currently stepping) this cycle; the enqueue is
+    // seen next cycle. The NI's own step-return usually keeps it active —
+    // the wheel entry covers the race where it already reported idle.
+    wake(node, cycle_ + 1);
+  }
+}
+
 void Network::step() {
-  for (auto& ni : nis_) ni.step(cycle_);
-  for (auto& router : routers_) router.step(cycle_);
+  if (active_engine_)
+    step_active();
+  else
+    step_full_scan();
   ++cycle_;
   stats_.cycles = cycle_;
+  ++stats_.sim.cycles_stepped;
+}
+
+void Network::step_full_scan() {
+  for (auto& ni : nis_) ni.step(cycle_);
+  for (auto& router : routers_) router.step(cycle_);
+  stats_.sim.components_stepped +=
+      2 * static_cast<std::uint64_t>(shape_.node_count());
+}
+
+void Network::step_active() {
+  const std::int32_t n = shape_.node_count();
+
+  // Merge wakes due this cycle into the worklist (deduped by the flag).
+  auto& due = wheel_[cycle_ % wheel_.size()];
+  for (const std::int32_t comp : due) {
+    if (!scheduled_[static_cast<std::size_t>(comp)]) {
+      scheduled_[static_cast<std::size_t>(comp)] = 1;
+      run_list_.push_back(comp);
+    }
+  }
+  wheel_count_ -= due.size();
+  due.clear();
+
+  // Sorted order reproduces the full scan: NIs (ids < n) in node order
+  // first, then routers.
+  std::sort(run_list_.begin(), run_list_.end());
+
+  next_list_.clear();
+  stepping_ = true;
+  for (run_pos_ = 0; run_pos_ < run_list_.size(); ++run_pos_) {
+    const std::int32_t comp = run_list_[run_pos_];
+    current_comp_ = comp;
+    const bool again = comp < n
+                           ? nis_[comp].step(cycle_)
+                           : routers_[comp - n].step(cycle_);
+    if (again)
+      next_list_.push_back(comp);  // keeps its scheduled_ flag
+    else
+      scheduled_[static_cast<std::size_t>(comp)] = 0;
+  }
+  stepping_ = false;
+  current_comp_ = -1;
+
+  stats_.sim.components_stepped += run_list_.size();
+  stats_.sim.components_skipped +=
+      2 * static_cast<std::uint64_t>(n) - run_list_.size();
+  run_list_.swap(next_list_);
 }
 
 void Network::advance_idle(std::uint64_t cycles) {
@@ -125,6 +228,7 @@ void Network::advance_idle(std::uint64_t cycles) {
     throw std::logic_error("Network::advance_idle: network is not idle");
   cycle_ += cycles;
   stats_.cycles = cycle_;
+  stats_.sim.idle_cycles_skipped += cycles;
 }
 
 bool Network::run_until_idle(std::uint64_t max_cycles) {
@@ -136,6 +240,11 @@ bool Network::run_until_idle(std::uint64_t max_cycles) {
 }
 
 bool Network::idle() const noexcept {
+  if (active_engine_) return run_list_.empty() && wheel_count_ == 0;
+  return idle_full_scan();
+}
+
+bool Network::idle_full_scan() const noexcept {
   for (const auto& router : routers_)
     if (!router.idle()) return false;
   for (const auto& ni : nis_)
@@ -155,6 +264,12 @@ std::size_t Network::buffered_flits() const noexcept {
   std::size_t total = 0;
   for (const auto& router : routers_) total += router.buffered_flits();
   return total;
+}
+
+std::size_t Network::active_components() const noexcept {
+  if (!active_engine_)
+    return 2 * static_cast<std::size_t>(shape_.node_count());
+  return run_list_.size();
 }
 
 }  // namespace nocbt::noc

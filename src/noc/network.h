@@ -11,6 +11,28 @@
 //   net.inject(src, dst, payloads);
 //   net.run_until_idle();
 //   net.bt().total();                    // accumulated bit transitions
+//
+// Two step-loop engines share the identical component models
+// (NocConfig::engine):
+//
+//   kActiveSet (default) — event-skipping worklist. step() visits only the
+//   components registered as able to make progress: a component stays on
+//   the worklist while its step() reports remaining internal state, and
+//   quiescent components are woken by their channels exactly at the cycle
+//   a pushed flit/credit arrives (a small timing wheel holds future
+//   wakes). idle() is an O(1) check of the worklist and wheel counters.
+//
+//   kFullScan — the retained naive reference: every NI and router steps
+//   every cycle, idle() scans the whole mesh. Differential suites pin the
+//   active-set engine byte-identical (cycles, BT, delivery order, stats)
+//   against it.
+//
+// Skipping is exact, not approximate: a skipped component is one whose
+// step() would have been a no-op (all cross-component communication rides
+// channels with >= 1 cycle latency, so a component with no internal state
+// and no arriving item cannot act), and per-cycle component order is kept
+// sorted (all NIs in node order, then all routers) so even floating-point
+// statistic accumulation order matches the full scan.
 
 #include <cstdint>
 #include <deque>
@@ -28,7 +50,7 @@
 
 namespace nocbt::noc {
 
-class Network {
+class Network : private ChannelWaker {
  public:
   using PacketSink = NetworkInterface::PacketSink;
 
@@ -60,7 +82,8 @@ class Network {
   /// grinding through millions of no-op steps.
   void advance_idle(std::uint64_t cycles);
 
-  /// True when all routers, NIs and channels are empty.
+  /// True when all routers, NIs and channels are empty. O(1) under the
+  /// active-set engine; a full mesh scan under the full-scan reference.
   [[nodiscard]] bool idle() const noexcept;
 
   [[nodiscard]] std::uint64_t cycle() const noexcept { return cycle_; }
@@ -77,10 +100,25 @@ class Network {
   /// Total flits buffered inside routers (diagnostics / livelock checks).
   [[nodiscard]] std::size_t buffered_flits() const noexcept;
 
+  /// Components (NIs + routers) currently on the active worklist. Always
+  /// the full component count under the full-scan reference.
+  [[nodiscard]] std::size_t active_components() const noexcept;
+
  private:
   void build();
-  Channel<Flit>* new_flit_channel(const LinkInfo& info);
-  Channel<Credit>* new_credit_channel();
+  Channel<Flit>* new_flit_channel(const LinkInfo& info, std::int32_t consumer);
+  Channel<Credit>* new_credit_channel(std::int32_t consumer);
+
+  // ---- active-set engine ----
+  /// ChannelWaker: schedule component `comp` to step at `cycle` (the
+  /// arrival cycle of an item just pushed into one of its input channels).
+  void wake(std::int32_t comp, std::uint64_t cycle) override;
+  /// Put `src`'s NI on the worklist after an inject() — mid-step, the NI is
+  /// slotted into the current cycle iff the full scan would still reach it.
+  void activate_ni(std::int32_t node);
+  void step_active();
+  void step_full_scan();
+  [[nodiscard]] bool idle_full_scan() const noexcept;
 
   NocConfig cfg_;
   MeshShape shape_;
@@ -93,6 +131,22 @@ class Network {
   std::deque<NetworkInterface> nis_;
   std::deque<Channel<Flit>> flit_channels_;
   std::deque<Channel<Credit>> credit_channels_;
+
+  // Active-set state. Component ids: [0, n) = NI of node i, [n, 2n) =
+  // router i, so a sorted worklist reproduces the full scan's "all NIs in
+  // node order, then all routers" order exactly.
+  bool active_engine_ = true;
+  std::vector<std::int32_t> run_list_;   ///< components to step next step()
+  std::vector<std::int32_t> next_list_;  ///< scratch: survivors of this step
+  std::vector<std::uint8_t> scheduled_;  ///< comp is in run_list_/next_list_
+  /// Timing wheel of future channel-arrival wakes, indexed by cycle modulo
+  /// wheel size (channel_latency + 1 covers every reachable arrival).
+  /// Entries may repeat a component; the merge into run_list_ dedupes.
+  std::vector<std::vector<std::int32_t>> wheel_;
+  std::size_t wheel_count_ = 0;  ///< total entries across all wheel slots
+  bool stepping_ = false;        ///< inside step_active()'s component loop
+  std::size_t run_pos_ = 0;      ///< index into run_list_ during a step
+  std::int32_t current_comp_ = -1;  ///< component currently being stepped
 };
 
 }  // namespace nocbt::noc

@@ -1,5 +1,6 @@
 #include "noc/network_interface.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace nocbt::noc {
@@ -8,6 +9,7 @@ NetworkInterface::NetworkInterface(const NocConfig& cfg, std::int32_t node)
     : cfg_(cfg), node_(node), inj_arb_(static_cast<std::size_t>(cfg.num_vcs)) {
   inj_vcs_.resize(static_cast<std::size_t>(cfg.num_vcs));
   for (auto& vc : inj_vcs_) vc.credits = cfg.vc_buffer_depth;
+  inj_requests_.resize(inj_vcs_.size(), false);
 }
 
 void NetworkInterface::connect_injection(Channel<Flit>* to_router,
@@ -22,11 +24,12 @@ void NetworkInterface::connect_ejection(Channel<Flit>* from_router,
   credit_to_router_ = credit_to_router;
 }
 
-void NetworkInterface::step(std::uint64_t cycle) {
+bool NetworkInterface::step(std::uint64_t cycle) {
   ingest_credits(cycle);
   assign_packets();
   send_one_flit(cycle);
   drain_ejection(cycle);
+  return !idle();
 }
 
 void NetworkInterface::ingest_credits(std::uint64_t cycle) {
@@ -51,11 +54,11 @@ void NetworkInterface::assign_packets() {
 
 void NetworkInterface::send_one_flit(std::uint64_t cycle) {
   if (!to_router_) return;
-  std::vector<bool> requests(inj_vcs_.size(), false);
+  std::fill(inj_requests_.begin(), inj_requests_.end(), false);
   bool any = false;
   for (std::size_t v = 0; v < inj_vcs_.size(); ++v) {
     if (inj_vcs_[v].busy && inj_vcs_[v].credits > 0) {
-      requests[v] = true;
+      inj_requests_[v] = true;
       any = true;
     }
   }
@@ -65,10 +68,10 @@ void NetworkInterface::send_one_flit(std::uint64_t cycle) {
   // and contiguous flits preserve the transmission ordering the technique
   // relies on). Other VCs only get the link when the sticky one stalls.
   std::int32_t winner = -1;
-  if (sticky_vc_ >= 0 && requests[static_cast<std::size_t>(sticky_vc_)])
+  if (sticky_vc_ >= 0 && inj_requests_[static_cast<std::size_t>(sticky_vc_)])
     winner = sticky_vc_;
   else
-    winner = inj_arb_.arbitrate(requests);
+    winner = inj_arb_.arbitrate(inj_requests_);
   if (winner < 0) return;
   sticky_vc_ = winner;
 
@@ -84,7 +87,10 @@ void NetworkInterface::send_one_flit(std::uint64_t cycle) {
   flit.seq = static_cast<std::uint32_t>(i);
   flit.num_flits = static_cast<std::uint32_t>(total);
   flit.inject_cycle = vc.packet.inject_cycle;
-  flit.payload = vc.packet.payloads[i];
+  // Move, don't copy: the packet is discarded once its last flit leaves, so
+  // handing the payload's heap storage to the flit eliminates the one
+  // per-flit allocation on the injection path.
+  flit.payload = std::move(vc.packet.payloads[i]);
   if (total == 1)
     flit.kind = FlitKind::kHeadTail;
   else if (i == 0)

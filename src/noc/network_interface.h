@@ -42,8 +42,11 @@ class NetworkInterface {
   void enqueue(Packet&& packet) { source_queue_.push_back(std::move(packet)); }
 
   /// Advance one cycle: accept credits, start queued packets on free VCs,
-  /// send at most one flit, drain and reassemble arriving flits.
-  void step(std::uint64_t cycle);
+  /// send at most one flit, drain and reassemble arriving flits. Returns
+  /// true while the NI holds state (queued packets, streaming VCs, or
+  /// half-reassembled packets) — i.e. whether the active-set engine must
+  /// step it again next cycle even if nothing arrives from the router.
+  bool step(std::uint64_t cycle);
 
   /// True when nothing is queued, in flight, or half-reassembled.
   [[nodiscard]] bool idle() const noexcept;
@@ -73,6 +76,7 @@ class NetworkInterface {
 
   std::deque<Packet> source_queue_;
   std::vector<InjectionVc> inj_vcs_;
+  std::vector<bool> inj_requests_;  ///< per-cycle arbiter scratch, reused
   RoundRobinArbiter inj_arb_;
   std::int32_t sticky_vc_ = -1;  ///< VC of the packet currently streaming
   Channel<Flit>* to_router_ = nullptr;

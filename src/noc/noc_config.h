@@ -4,10 +4,39 @@
 
 #include <cstdint>
 #include <stdexcept>
+#include <string>
 
 #include "noc/routing.h"
 
 namespace nocbt::noc {
+
+/// Which step-loop the Network runs.
+///
+/// kActiveSet is the production engine: `step()` visits only the components
+/// (routers/NIs) that can make progress this cycle — quiescent components
+/// are skipped entirely and woken by their channels when a flit or credit
+/// arrives — and `idle()` is an O(1) counter check. kFullScan is the
+/// retained naive reference that unconditionally walks every component
+/// every cycle; it exists so differential tests (and micro_noc) can prove
+/// the active-set engine cycle- and BT-exact against it. Both engines are
+/// observationally identical; they differ in wall-clock only.
+enum class SimEngine : std::uint8_t {
+  kActiveSet,  ///< event-skipping worklist engine (default)
+  kFullScan,   ///< naive all-components-every-cycle reference
+};
+
+[[nodiscard]] inline const char* to_string(SimEngine engine) noexcept {
+  return engine == SimEngine::kFullScan ? "fullscan" : "active";
+}
+
+[[nodiscard]] inline SimEngine parse_sim_engine(const std::string& s) {
+  if (s == "active" || s == "active-set" || s == "activeset")
+    return SimEngine::kActiveSet;
+  if (s == "fullscan" || s == "full-scan" || s == "naive")
+    return SimEngine::kFullScan;
+  throw std::invalid_argument("parse_sim_engine: unknown engine '" + s +
+                              "' (want active | fullscan)");
+}
 
 /// Which link classes the BT recorder accumulates. The paper's Fig. 8 sums
 /// over router output ports, i.e. inter-router links plus ejection links.
@@ -26,6 +55,7 @@ struct NocConfig {
   unsigned flit_payload_bits = 512;  ///< link width (payload wires)
   unsigned channel_latency = 1;      ///< link traversal cycles
   RoutingAlgorithm routing = RoutingAlgorithm::kXY;
+  SimEngine engine = SimEngine::kActiveSet;  ///< step-loop implementation
   BtScopeConfig bt_scope;
   /// Accept src == dst packets (NI -> router local port -> NI loopback).
   /// Synthetic traffic patterns usually want these rejected at injection so

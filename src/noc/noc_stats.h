@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "common/stats.h"
+#include "noc/sim_profiler.h"
 
 namespace nocbt::noc {
 
@@ -14,6 +15,11 @@ struct NocStats {
   std::uint64_t flits_injected = 0;
   std::uint64_t flits_delivered = 0;
   std::uint64_t cycles = 0;
+
+  /// Step-loop profile (cycles stepped vs. skipped, component steps run
+  /// vs. skipped by the active-set engine). Deterministic for a given
+  /// config and injection schedule.
+  SimProfile sim;
 
   /// End-to-end packet latency in cycles, source-queueing included.
   RunningStat packet_latency;

@@ -1,5 +1,6 @@
 #include "noc/router.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace nocbt::noc {
@@ -8,11 +9,15 @@ Router::Router(const NocConfig& cfg, const MeshShape& shape, std::int32_t id)
     : cfg_(cfg), shape_(shape), id_(id) {
   inputs_.reserve(kNumPorts);
   outputs_.reserve(kNumPorts);
+  const auto num_vcs = static_cast<std::size_t>(cfg.num_vcs);
+  const auto depth = static_cast<std::size_t>(cfg.vc_buffer_depth);
   for (int p = 0; p < kNumPorts; ++p) {
-    inputs_.emplace_back(static_cast<std::size_t>(cfg.num_vcs));
-    outputs_.emplace_back(static_cast<std::size_t>(cfg.num_vcs),
-                          cfg.vc_buffer_depth);
+    inputs_.emplace_back(num_vcs, depth);
+    outputs_.emplace_back(num_vcs, cfg.vc_buffer_depth);
   }
+  vc_alloc_requests_.resize(num_vcs * kNumPorts, false);
+  input_vc_requests_.resize(num_vcs, false);
+  switch_requests_.resize(kNumPorts, false);
 }
 
 void Router::connect_input(Port port, Channel<Flit>* in_flits,
@@ -27,12 +32,13 @@ void Router::connect_output(Port port, Channel<Flit>* out_flits,
   outputs_[port].credit_in = credit_in;
 }
 
-void Router::step(std::uint64_t cycle) {
+bool Router::step(std::uint64_t cycle) {
   ingest_credits(cycle);
   ingest_flits(cycle);
   compute_routes();
   allocate_vcs();
   allocate_and_traverse_switch(cycle);
+  return !idle();
 }
 
 void Router::ingest_credits(std::uint64_t cycle) {
@@ -51,7 +57,7 @@ void Router::ingest_flits(std::uint64_t cycle) {
     if (!in.in) continue;
     if (auto flit = in.in->pop_ready(cycle)) {
       VcState& vc = in.vcs[flit->vc];
-      if (vc.buffer.size() >= static_cast<std::size_t>(cfg_.vc_buffer_depth))
+      if (vc.buffer.full())
         throw std::logic_error("Router: VC buffer overflow (protocol bug)");
       const bool was_empty_idle =
           vc.stage == VcStage::kIdle && vc.buffer.empty();
@@ -84,13 +90,14 @@ void Router::allocate_vcs() {
   for (int out_port = 0; out_port < kNumPorts; ++out_port) {
     OutputUnit& out = outputs_[out_port];
     if (!out.out) continue;
-    std::vector<bool> requests(num_vcs * kNumPorts, false);
+    std::fill(vc_alloc_requests_.begin(), vc_alloc_requests_.end(), false);
     bool any = false;
     for (int in_port = 0; in_port < kNumPorts; ++in_port) {
       for (std::size_t v = 0; v < num_vcs; ++v) {
         const VcState& vc = inputs_[in_port].vcs[v];
         if (vc.stage == VcStage::kWaitingVc && vc.out_port == out_port) {
-          requests[static_cast<std::size_t>(in_port) * num_vcs + v] = true;
+          vc_alloc_requests_[static_cast<std::size_t>(in_port) * num_vcs + v] =
+              true;
           any = true;
         }
       }
@@ -105,7 +112,7 @@ void Router::allocate_vcs() {
       }
     }
     if (free_vc < 0) continue;
-    const std::int32_t winner = out.vc_alloc_arb.arbitrate(requests);
+    const std::int32_t winner = out.vc_alloc_arb.arbitrate(vc_alloc_requests_);
     if (winner < 0) continue;
     const auto in_port = static_cast<std::size_t>(winner) / num_vcs;
     const auto in_vc = static_cast<std::size_t>(winner) % num_vcs;
@@ -121,20 +128,20 @@ void Router::allocate_and_traverse_switch(std::uint64_t cycle) {
 
   // Phase 1 (input arbitration): each input port nominates one VC that is
   // active, has a buffered flit, and holds a downstream credit.
-  std::vector<std::int32_t> nominee(kNumPorts, -1);  // VC index per input port
+  nominee_.fill(-1);  // VC index per input port
   for (int in_port = 0; in_port < kNumPorts; ++in_port) {
     InputUnit& in = inputs_[in_port];
-    std::vector<bool> requests(num_vcs, false);
+    std::fill(input_vc_requests_.begin(), input_vc_requests_.end(), false);
     bool any = false;
     for (std::size_t v = 0; v < num_vcs; ++v) {
       const VcState& vc = in.vcs[v];
       if (vc.stage == VcStage::kActive && !vc.buffer.empty() &&
           outputs_[vc.out_port].credits[vc.out_vc] > 0) {
-        requests[v] = true;
+        input_vc_requests_[v] = true;
         any = true;
       }
     }
-    if (any) nominee[in_port] = in.vc_arb.arbitrate(requests);
+    if (any) nominee_[in_port] = in.vc_arb.arbitrate(input_vc_requests_);
   }
 
   // Phase 2 (output arbitration): each output port picks one nominating
@@ -142,26 +149,25 @@ void Router::allocate_and_traverse_switch(std::uint64_t cycle) {
   for (int out_port = 0; out_port < kNumPorts; ++out_port) {
     OutputUnit& out = outputs_[out_port];
     if (!out.out) continue;
-    std::vector<bool> requests(kNumPorts, false);
+    std::fill(switch_requests_.begin(), switch_requests_.end(), false);
     bool any = false;
     for (int in_port = 0; in_port < kNumPorts; ++in_port) {
-      if (nominee[in_port] >= 0 &&
-          inputs_[in_port].vcs[static_cast<std::size_t>(nominee[in_port])]
+      if (nominee_[in_port] >= 0 &&
+          inputs_[in_port].vcs[static_cast<std::size_t>(nominee_[in_port])]
                   .out_port == out_port) {
-        requests[in_port] = true;
+        switch_requests_[in_port] = true;
         any = true;
       }
     }
     if (!any) continue;
-    const std::int32_t winner_port = out.switch_arb.arbitrate(requests);
+    const std::int32_t winner_port = out.switch_arb.arbitrate(switch_requests_);
     if (winner_port < 0) continue;
 
     InputUnit& in = inputs_[winner_port];
-    const auto vc_index = static_cast<std::size_t>(nominee[winner_port]);
+    const auto vc_index = static_cast<std::size_t>(nominee_[winner_port]);
     VcState& vc = in.vcs[vc_index];
 
-    Flit flit = std::move(vc.buffer.front());
-    vc.buffer.pop_front();
+    Flit flit = vc.buffer.pop_front();
     const bool tail = is_tail(flit.kind);
     const std::int32_t out_vc = vc.out_vc;
 

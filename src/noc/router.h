@@ -12,14 +12,19 @@
 //
 // VC reuse is relaxed (the downstream VC is released when the tail is
 // *sent*); FIFO order per link per VC keeps packets well-formed downstream.
+//
+// Hot-path storage is allocation-free in steady state: VC input FIFOs are
+// fixed rings sized by `vc_buffer_depth`, and the allocators' request
+// vectors are members reused every cycle instead of per-cycle temporaries.
 
+#include <array>
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "noc/arbiter.h"
 #include "noc/channel.h"
 #include "noc/flit.h"
+#include "noc/flit_ring.h"
 #include "noc/noc_config.h"
 #include "noc/routing.h"
 
@@ -39,8 +44,11 @@ class Router {
   void connect_output(Port port, Channel<Flit>* out_flits,
                       Channel<Credit>* credit_in);
 
-  /// Advance one cycle.
-  void step(std::uint64_t cycle);
+  /// Advance one cycle. Returns true while the router holds state that can
+  /// make progress without external input (any VC non-idle or non-empty) —
+  /// i.e. whether the active-set engine must step it again next cycle even
+  /// if no flit or credit arrives.
+  bool step(std::uint64_t cycle);
 
   /// True when no flit is buffered and every VC is idle.
   [[nodiscard]] bool idle() const noexcept;
@@ -57,7 +65,9 @@ class Router {
     VcStage stage = VcStage::kIdle;
     Port out_port = kLocal;
     std::int32_t out_vc = -1;
-    std::deque<Flit> buffer;
+    FlitRing buffer;
+
+    explicit VcState(std::size_t depth) : buffer(depth) {}
   };
 
   struct InputUnit {
@@ -66,8 +76,10 @@ class Router {
     std::vector<VcState> vcs;
     RoundRobinArbiter vc_arb;  // picks which VC bids for the switch
 
-    explicit InputUnit(std::size_t num_vcs)
-        : vcs(num_vcs), vc_arb(num_vcs) {}
+    InputUnit(std::size_t num_vcs, std::size_t depth) : vc_arb(num_vcs) {
+      vcs.reserve(num_vcs);
+      for (std::size_t v = 0; v < num_vcs; ++v) vcs.emplace_back(depth);
+    }
   };
 
   struct OutputUnit {
@@ -99,6 +111,13 @@ class Router {
   std::int32_t id_;
   std::vector<InputUnit> inputs_;    // indexed by Port
   std::vector<OutputUnit> outputs_;  // indexed by Port
+
+  // Per-cycle allocator scratch, reused to keep the step loop free of heap
+  // allocation (sized once in the constructor).
+  std::vector<bool> vc_alloc_requests_;    // num_vcs * kNumPorts bidders
+  std::vector<bool> input_vc_requests_;    // num_vcs bidders per input port
+  std::vector<bool> switch_requests_;      // kNumPorts bidders per output
+  std::array<std::int32_t, kNumPorts> nominee_{};  // chosen VC per input port
 };
 
 }  // namespace nocbt::noc

@@ -1,0 +1,66 @@
+#pragma once
+// Lightweight simulation-engine profiler.
+//
+// SimProfile holds the deterministic step-loop counters the Network
+// maintains (how many cycles were stepped vs. jumped over while idle, how
+// many component steps ran vs. were skipped by the active-set engine).
+// They quantify the event-skipping win without perturbing simulation
+// results: identical specs produce identical counters at any parallelism.
+// Wall-clock — which is NOT deterministic — is measured by callers with
+// WallTimer around whole phases (a campaign variant run, one platform
+// layer) rather than per step, so the hot loop never touches the clock.
+
+#include <chrono>
+#include <cstdint>
+
+namespace nocbt::noc {
+
+/// Deterministic step-loop counters, accumulated by the Network.
+struct SimProfile {
+  /// Network::step() invocations (cycles actually simulated).
+  std::uint64_t cycles_stepped = 0;
+  /// Cycles jumped over by advance_idle() (no component ran).
+  std::uint64_t idle_cycles_skipped = 0;
+  /// Component (router/NI) steps executed.
+  std::uint64_t components_stepped = 0;
+  /// Component steps the active-set engine skipped (always 0 under the
+  /// full-scan reference, which steps everything every cycle).
+  std::uint64_t components_skipped = 0;
+
+  /// Fraction of component-cycles skipped over the stepped cycles:
+  /// skipped / (stepped + skipped), 0 when nothing ran.
+  [[nodiscard]] double skip_ratio() const noexcept {
+    const std::uint64_t total = components_stepped + components_skipped;
+    return total == 0 ? 0.0
+                      : static_cast<double>(components_skipped) /
+                            static_cast<double>(total);
+  }
+};
+
+[[nodiscard]] inline bool operator==(const SimProfile& a,
+                                     const SimProfile& b) noexcept {
+  return a.cycles_stepped == b.cycles_stepped &&
+         a.idle_cycles_skipped == b.idle_cycles_skipped &&
+         a.components_stepped == b.components_stepped &&
+         a.components_skipped == b.components_skipped;
+}
+
+/// Monotonic stopwatch for whole-phase wall-clock measurements.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  void restart() { start_ = std::chrono::steady_clock::now(); }
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace nocbt::noc

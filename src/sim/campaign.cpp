@@ -81,6 +81,8 @@ struct VariantOutcome {
   double avg_latency = 0.0;
   double avg_hops = 0.0;
   bool drained = false;
+  noc::SimProfile sim;   ///< step-loop counters (deterministic)
+  double wall_ms = 0.0;  ///< host wall-clock of the run (nondeterministic)
   std::vector<noc::LinkObservation> links;  ///< frozen per-link counters
 };
 
@@ -91,6 +93,7 @@ struct VariantOutcome {
 VariantOutcome run_traffic_variant(const ScenarioSpec& spec,
                                    ordering::OrderingMode mode,
                                    bool want_links) {
+  const noc::WallTimer timer;
   noc::Network net(spec.noc_config());
   const std::int32_t nodes = spec.rows * spec.cols;
   for (std::int32_t node = 0; node < nodes; ++node)
@@ -130,7 +133,9 @@ VariantOutcome run_traffic_variant(const ScenarioSpec& spec,
   out.avg_latency = net.stats().packet_latency.mean();
   out.avg_hops = net.stats().packet_hops.mean();
   out.drained = true;
+  out.sim = net.stats().sim;
   if (want_links) out.links = net.bt().snapshot();
+  out.wall_ms = timer.millis();
   return out;
 }
 
@@ -141,13 +146,15 @@ VariantOutcome run_model_variant(const ScenarioSpec& spec,
   if (!hooks.model || !hooks.input)
     throw std::invalid_argument(
         "run_scenario: model workload needs CampaignSpec::hooks");
+  const noc::WallTimer timer;
   accel::AccelConfig cfg = accel::AccelConfig::defaults(
       spec.format, mode, spec.rows, spec.cols, spec.num_mcs);
   cfg.noc.num_vcs = spec.num_vcs;
   cfg.noc.vc_buffer_depth = spec.vc_buffer_depth;
+  cfg.noc.engine = spec.engine;
   dnn::Sequential model = hooks.model(spec.model_seed);
   accel::NocDnaPlatform platform(cfg, model);
-  const accel::InferenceResult result = platform.run(hooks.input(spec.input_seed));
+  accel::InferenceResult result = platform.run(hooks.input(spec.input_seed));
 
   VariantOutcome out;
   out.bt = result.bt_total;
@@ -157,7 +164,9 @@ VariantOutcome run_model_variant(const ScenarioSpec& spec,
   out.avg_latency = result.noc_stats.packet_latency.mean();
   out.avg_hops = result.noc_stats.packet_hops.mean();
   out.drained = true;
+  out.sim = result.noc_stats.sim;
   if (want_links) out.links = std::move(result.links);
+  out.wall_ms = timer.millis();
   return out;
 }
 
@@ -255,7 +264,10 @@ bool operator==(const ScenarioResult& a, const ScenarioResult& b) {
          a.packets == b.packets && a.flits == b.flits &&
          a.peak_backlog == b.peak_backlog &&
          a.avg_latency == b.avg_latency && a.avg_hops == b.avg_hops &&
-         a.drained == b.drained && a.links == b.links && a.error == b.error;
+         a.drained == b.drained && a.sim == b.sim && a.links == b.links &&
+         a.error == b.error;
+  // wall_ms_* are deliberately not compared: wall-clock is the one
+  // nondeterministic measurement a scenario carries.
 }
 
 ScenarioResult run_scenario(const ScenarioSpec& spec, const ModelHooks& hooks) {
@@ -292,6 +304,9 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, const ModelHooks& hooks) {
     result.avg_latency = ordered.avg_latency;
     result.avg_hops = ordered.avg_hops;
     result.drained = baseline.drained && ordered.drained;
+    result.sim = ordered.sim;
+    result.wall_ms_baseline = baseline.wall_ms;
+    result.wall_ms_ordered = ordered.wall_ms;
     if (!result.drained) result.error = "hit max_cycles before draining";
   } catch (const std::exception& e) {
     result.error = e.what();
@@ -387,6 +402,28 @@ std::size_t write_csv_report(const std::string& path,
                  format_double(row.avg_latency, 3),
                  format_double(row.avg_hops, 3), row.drained ? "1" : "0",
                  row.error});
+  }
+  return csv.rows_written();
+}
+
+std::size_t write_profile_csv(const std::string& path,
+                              const CampaignSpec& campaign,
+                              const CampaignResult& result) {
+  (void)campaign;
+  CsvWriter csv(path,
+                {"scenario", "engine", "wall_ms_baseline", "wall_ms_ordered",
+                 "cycles", "cycles_stepped", "idle_cycles_skipped",
+                 "components_stepped", "components_skipped", "skip_ratio"});
+  for (const ScenarioResult& row : result.rows) {
+    csv.add_row({row.spec.name, noc::to_string(row.spec.engine),
+                 format_double(row.wall_ms_baseline, 3),
+                 format_double(row.wall_ms_ordered, 3),
+                 std::to_string(row.cycles),
+                 std::to_string(row.sim.cycles_stepped),
+                 std::to_string(row.sim.idle_cycles_skipped),
+                 std::to_string(row.sim.components_stepped),
+                 std::to_string(row.sim.components_skipped),
+                 format_double(row.sim.skip_ratio(), 6)});
   }
   return csv.rows_written();
 }

@@ -30,6 +30,7 @@
 #include "dnn/sequential.h"
 #include "dnn/tensor.h"
 #include "hw/energy_model.h"
+#include "noc/sim_profiler.h"
 #include "sim/scenario.h"
 
 namespace nocbt::sim {
@@ -109,6 +110,14 @@ struct ScenarioResult {
   double avg_latency = 0.0;
   double avg_hops = 0.0;
   bool drained = false;           ///< false = hit the max_cycles stall guard
+  /// Step-loop profile of the ordered run (deterministic engine counters:
+  /// cycles stepped vs. idle-skipped, component steps run vs. skipped).
+  noc::SimProfile sim;
+  /// Host wall-clock of each variant run, in milliseconds. NOT
+  /// deterministic — excluded from operator== and from the golden-compared
+  /// CSV/JSON reports; surfaced via write_profile_csv only.
+  double wall_ms_baseline = 0.0;
+  double wall_ms_ordered = 0.0;
   /// Per-link measurements of the ordered run (every monitored link, in
   /// link-id order) — the rows of the heatmap CSV.
   std::vector<hw::LinkEnergyRow> links;
@@ -145,6 +154,15 @@ struct RunnerConfig {
 std::size_t write_csv_report(const std::string& path,
                              const CampaignSpec& campaign,
                              const CampaignResult& result);
+
+/// Step-loop profile CSV: one row per scenario with the engine, wall-clock
+/// per variant, deterministic step counters and the component skip ratio.
+/// Kept separate from write_csv_report/json_report so the wall-clock
+/// columns never enter the byte-compared golden fixtures. Returns rows
+/// written.
+std::size_t write_profile_csv(const std::string& path,
+                              const CampaignSpec& campaign,
+                              const CampaignResult& result);
 
 /// Per-link "heatmap" CSV: one row per monitored link per scenario
 /// (scenario, link id, kind, src -> dst, flits, BT, energy in pJ), for

@@ -54,6 +54,7 @@ noc::NocConfig ScenarioSpec::noc_config() const {
   cfg.num_vcs = num_vcs;
   cfg.vc_buffer_depth = vc_buffer_depth;
   cfg.flit_payload_bits = values_per_flit * value_bits(format);
+  cfg.engine = engine;
   // Synthetic patterns never emit src == dst, so reject it loudly — except
   // under replay, where a recorded trace may legitimately contain
   // self-delivered packets.

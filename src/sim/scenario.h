@@ -84,6 +84,10 @@ struct ScenarioSpec {
   std::uint64_t seed = 1;          ///< derived per-scenario by expansion
   std::uint64_t max_cycles = 5'000'000;  ///< per-variant stall guard
 
+  /// Step-loop engine (active-set by default; fullscan selects the naive
+  /// reference — same results, more wall-clock — for differential runs).
+  noc::SimEngine engine = noc::SimEngine::kActiveSet;
+
   /// NoC configuration implied by the spec. Self-traffic is rejected for
   /// synthetic patterns (none emits it, so it would indicate a generator
   /// bug) and allowed for replay (a recorded trace may contain it).

@@ -223,6 +223,42 @@ TEST(Platform, ConfigValidation) {
                                           OrderingMode::kBaseline, 4, 4, 2);
   cfg.noc.flit_payload_bits = 48;  // not a multiple of 32... actually 48 is not
   EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  AccelConfig drain_cfg = AccelConfig::defaults(DataFormat::kFloat32,
+                                                OrderingMode::kBaseline, 4, 4, 2);
+  drain_cfg.drain_max_cycles = 0;
+  EXPECT_THROW(drain_cfg.validate(), std::invalid_argument);
+}
+
+TEST(Platform, FinalDrainBudgetIsConfigurableAndThrowsOnNonDrain) {
+  // The last layer's result credits are still in flight when the layer
+  // loop exits; a 1-cycle drain budget cannot absorb them, and that must
+  // be a loud error (the old behavior silently discarded the returned
+  // bool), while the default budget drains the same run cleanly.
+  dnn::Sequential model = make_tiny_model(17);
+  const dnn::Tensor input = make_input(18);
+
+  AccelConfig cfg = AccelConfig::defaults(DataFormat::kFixed8,
+                                          OrderingMode::kSeparated, 4, 4, 2);
+  // 2-cycle links: the credit returned for the last delivered result flit
+  // is pushed the cycle the layer loop exits and lands 2 cycles later, so
+  // a 1-cycle budget deterministically cannot reach idle.
+  cfg.noc.channel_latency = 2;
+  cfg.drain_max_cycles = 1;
+  NocDnaPlatform strict(cfg, model);
+  try {
+    (void)strict.run(input);
+    FAIL() << "expected the 1-cycle drain budget to overflow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("failed to drain"),
+              std::string::npos)
+        << e.what();
+  }
+
+  cfg.drain_max_cycles = 100'000;
+  NocDnaPlatform relaxed(cfg, model);
+  const InferenceResult result = relaxed.run(input);
+  EXPECT_GT(result.total_cycles, 0u);
 }
 
 }  // namespace

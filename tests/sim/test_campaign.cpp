@@ -400,5 +400,54 @@ TEST(Campaign, RenderTableHasOneRowPerScenario) {
     EXPECT_NE(table.find(row.spec.name), std::string::npos) << row.spec.name;
 }
 
+TEST(Campaign, ProfileCsvCarriesStepLoopCounters) {
+  CampaignSpec camp = small_campaign();
+  camp.generators = {GeneratorKind::kUniform};
+  camp.formats = {DataFormat::kFixed8};
+  const auto result = run_campaign(camp);
+
+  const std::string path = testing::TempDir() + "nocbt_campaign_profile.csv";
+  EXPECT_EQ(write_profile_csv(path, camp, result), result.rows.size());
+  std::ifstream in(path);
+  std::string header;
+  ASSERT_TRUE(std::getline(in, header));
+  EXPECT_EQ(header,
+            "scenario,engine,wall_ms_baseline,wall_ms_ordered,cycles,"
+            "cycles_stepped,idle_cycles_skipped,components_stepped,"
+            "components_skipped,skip_ratio");
+  std::size_t data_lines = 0;
+  std::string line;
+  while (std::getline(in, line))
+    if (!line.empty()) ++data_lines;
+  EXPECT_EQ(data_lines, result.rows.size());
+
+  for (const auto& row : result.rows) {
+    ASSERT_TRUE(row.error.empty()) << row.error;
+    // The active-set engine ran and skipped quiescent components; its
+    // stepped+jumped cycles account for the scenario's whole drain time.
+    EXPECT_EQ(row.spec.engine, noc::SimEngine::kActiveSet);
+    EXPECT_GT(row.sim.components_skipped, 0u);
+    EXPECT_EQ(row.sim.cycles_stepped + row.sim.idle_cycles_skipped,
+              row.cycles);
+    EXPECT_GT(row.sim.skip_ratio(), 0.0);
+    EXPECT_LT(row.sim.skip_ratio(), 1.0);
+  }
+}
+
+TEST(Campaign, ProfilerCountersAreThreadInvariant) {
+  // Wall-clock differs run to run; the SimProfile counters must not.
+  CampaignSpec camp = small_campaign();
+  camp.generators = {GeneratorKind::kUniform};
+  const auto serial = run_campaign(camp);
+  const auto parallel = run_campaign(camp, RunnerConfig{4, nullptr});
+  ASSERT_EQ(serial.rows.size(), parallel.rows.size());
+  for (std::size_t i = 0; i < serial.rows.size(); ++i) {
+    EXPECT_TRUE(serial.rows[i].sim == parallel.rows[i].sim)
+        << serial.rows[i].spec.name;
+    EXPECT_TRUE(serial.rows[i] == parallel.rows[i])
+        << serial.rows[i].spec.name;
+  }
+}
+
 }  // namespace
 }  // namespace nocbt::sim
