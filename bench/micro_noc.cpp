@@ -11,7 +11,11 @@
 // byte-identical results (BT, cycles, packets), self-times both step
 // loops, and writes one JSON document (via common/json_writer) that CI
 // uploads as an artifact and gates on: the active-set engine must be >= 2x
-// the full scan on sparse 16x16 traffic.
+// the full scan on sparse 16x16 traffic, and the analytical zero-load
+// backend must reproduce the active-set BT/packet totals exactly at
+// >= 10x less wall-clock on the same sparse schedule (the congestion-free
+// regime it exists for; cycle counts are excluded from that comparison
+// because the step loop runs a fixed cycle budget past the drain point).
 
 #include <benchmark/benchmark.h>
 
@@ -25,6 +29,7 @@
 
 #include "common/json_writer.h"
 #include "common/rng.h"
+#include "noc/analytical_engine.h"
 #include "noc/network.h"
 #include "noc/sim_profiler.h"
 
@@ -186,19 +191,83 @@ EngineRun run_schedule(SimEngine engine, std::int32_t dim,
 }
 
 /// Repeat the schedule until ~150ms of wall-clock accumulates; returns the
-/// last run's deterministic outcome with the averaged throughput.
+/// last run's deterministic outcome with the averaged throughput and (via
+/// `seconds`) the averaged wall-clock of one run.
 EngineRun measure(SimEngine engine, std::int32_t dim, std::uint64_t sim_cycles,
                   std::uint64_t gap, int flits, std::uint64_t seed,
                   double* mcycles_per_s) {
   EngineRun last = run_schedule(engine, dim, sim_cycles, gap, flits, seed);
   double total_s = last.seconds;
   std::uint64_t total_cycles = last.cycles;
+  std::uint64_t runs = 1;
   while (total_s < 0.15) {
     last = run_schedule(engine, dim, sim_cycles, gap, flits, seed);
     total_s += last.seconds;
     total_cycles += last.cycles;
+    ++runs;
   }
   *mcycles_per_s = static_cast<double>(total_cycles) / total_s / 1e6;
+  last.seconds = total_s / static_cast<double>(runs);
+  return last;
+}
+
+/// Drive the same deterministic schedule through the analytical zero-load
+/// backend: identical Rng draw order to run_schedule (src, dst, payloads
+/// per injection), so both backends see byte-identical traffic. Exits the
+/// process if the schedule turns out contended — the sparse scenario is
+/// congestion-free by construction (drain <= hops + flits + 2 << gap), so
+/// that would mean the schedule or the engine regressed.
+EngineRun run_analytical_schedule(std::int32_t dim, std::uint64_t sim_cycles,
+                                  std::uint64_t gap, int flits,
+                                  std::uint64_t seed) {
+  NocConfig cfg;
+  cfg.rows = dim;
+  cfg.cols = dim;
+  cfg.flit_payload_bits = 128;
+  cfg.engine = SimEngine::kAnalytical;
+  const std::int32_t n = cfg.node_count();
+
+  Rng rng(seed);
+  const WallTimer timer;
+  AnalyticalEngine engine(cfg);
+  for (std::uint64_t c = 0; c < sim_cycles; ++c) {
+    if (c % gap == 0) {
+      const auto src = static_cast<std::int32_t>(rng.uniform_int(0, n - 1));
+      auto dst = static_cast<std::int32_t>(rng.uniform_int(0, n - 1));
+      if (dst == src) dst = (dst + 1) % n;
+      engine.inject(c, src, dst, random_payloads(128, flits, rng));
+    }
+  }
+  if (!engine.run()) {
+    std::fprintf(stderr, "micro_noc: analytical backend found contention: %s\n",
+                 engine.contention_detail().c_str());
+    std::exit(1);
+  }
+
+  EngineRun run;
+  run.seconds = timer.seconds();
+  run.bt = engine.bt().total();
+  run.cycles = engine.cycle();
+  run.packets = engine.stats().packets_delivered;
+  run.skip_ratio = engine.stats().sim.skip_ratio();
+  return run;
+}
+
+/// measure() for the analytical backend: repeat until ~150ms accumulates
+/// (one analytical pass is microseconds, so this averages thousands of
+/// runs); `seconds` carries the averaged wall-clock of one run.
+EngineRun measure_analytical(std::int32_t dim, std::uint64_t sim_cycles,
+                             std::uint64_t gap, int flits,
+                             std::uint64_t seed) {
+  EngineRun last = run_analytical_schedule(dim, sim_cycles, gap, flits, seed);
+  double total_s = last.seconds;
+  std::uint64_t runs = 1;
+  while (total_s < 0.15) {
+    last = run_analytical_schedule(dim, sim_cycles, gap, flits, seed);
+    total_s += last.seconds;
+    ++runs;
+  }
+  last.seconds = total_s / static_cast<double>(runs);
   return last;
 }
 
@@ -208,22 +277,27 @@ struct JsonScenario {
   std::uint64_t sim_cycles;
   std::uint64_t gap;
   int flits;
+  bool analytical;  ///< also time the zero-load backend (needs a
+                    ///< congestion-free schedule to be meaningful)
 };
 
 int run_json_bench(const std::string& path) {
   // The gated scenario is the sparse 16x16 mesh (one short packet every 64
   // cycles — the paper-scale sweep regime where almost every component is
-  // quiescent); the dense 4x4 row documents the engine's behavior when
-  // skipping cannot help.
+  // quiescent, and where the analytical backend is provably exact); the
+  // dense 4x4 row documents the engine's behavior when skipping cannot
+  // help (and where gap=1 traffic contends, so no analytical row).
   const JsonScenario scenarios[] = {
-      {"sparse_16x16", 16, 20'000, 64, 4},
-      {"dense_4x4", 4, 20'000, 1, 4},
+      {"sparse_16x16", 16, 20'000, 64, 4, true},
+      {"dense_4x4", 4, 20'000, 1, 4, false},
   };
 
   JsonWriter json;
   json.begin_object().key("bench").value("micro_noc");
   json.key("scenarios").begin_array();
   double sparse_speedup = 0.0;
+  double analytical_speedup = 0.0;
+  bool analytical_bt_match = false;
   for (const JsonScenario& sc : scenarios) {
     double full_mcps = 0.0;
     double active_mcps = 0.0;
@@ -262,13 +336,48 @@ int run_json_bench(const std::string& path) {
         .key("skip_ratio").value(active.skip_ratio)
         .key("fullscan_mcycles_per_s").value(full_mcps)
         .key("active_mcycles_per_s").value(active_mcps)
-        .key("speedup").value(speedup)
-        .end_object();
+        .key("speedup").value(speedup);
+    if (sc.analytical) {
+      const EngineRun ana = measure_analytical(sc.dim, sc.sim_cycles, sc.gap,
+                                               sc.flits, 11);
+      // Equivalence gate: the analytical backend must reproduce the active
+      // run's BT and packet totals exactly. Cycle counts are *expected* to
+      // differ (the step loop burns the full sim_cycles budget; the
+      // analytical drain cycle stops at the last delivery), so they stay
+      // out of this comparison.
+      const bool match = ana.bt == active.bt && ana.packets == active.packets;
+      if (!match) {
+        std::fprintf(stderr,
+                     "micro_noc: analytical mismatch on %s (bt %llu/%llu, "
+                     "packets %llu/%llu)\n",
+                     sc.name, static_cast<unsigned long long>(ana.bt),
+                     static_cast<unsigned long long>(active.bt),
+                     static_cast<unsigned long long>(ana.packets),
+                     static_cast<unsigned long long>(active.packets));
+        return 1;
+      }
+      // Both .seconds are repeat-averaged wall-clock for one full schedule
+      // (inject + evaluate), so the ratio is an end-to-end speedup.
+      const double ana_speedup = active.seconds / ana.seconds;
+      if (std::string(sc.name) == "sparse_16x16") {
+        analytical_speedup = ana_speedup;
+        analytical_bt_match = match;
+      }
+      json.key("active_seconds_per_run").value(active.seconds)
+          .key("analytical_seconds_per_run").value(ana.seconds)
+          .key("analytical_drain_cycle").value(ana.cycles)
+          .key("analytical_bt_match").value(match)
+          .key("analytical_speedup").value(ana_speedup);
+    }
+    json.end_object();
   }
   json.end_array();
-  // The CI gate: active-set step-loop throughput vs. the full scan on the
-  // sparse 16x16 scenario.
+  // The CI gates: active-set step-loop throughput vs. the full scan, and
+  // the analytical backend's exact-equivalence + wall-clock advantage over
+  // the active set, both on the sparse 16x16 scenario.
   json.key("active_speedup").value(sparse_speedup);
+  json.key("analytical_speedup").value(analytical_speedup);
+  json.key("analytical_bt_match").value(analytical_bt_match);
   json.end_object();
 
   std::ofstream out(path, std::ios::binary);
@@ -281,8 +390,10 @@ int run_json_bench(const std::string& path) {
     std::fprintf(stderr, "micro_noc: write failed for %s\n", path.c_str());
     return 1;
   }
-  std::printf("wrote %s (active-set speedup %.2fx on sparse 16x16)\n",
-              path.c_str(), sparse_speedup);
+  std::printf(
+      "wrote %s (sparse 16x16: active-set %.2fx vs full scan, analytical "
+      "%.0fx vs active-set)\n",
+      path.c_str(), sparse_speedup, analytical_speedup);
   return 0;
 }
 

@@ -13,7 +13,8 @@
 //
 // Knobs: meshes= (RxC[mcN] list), format=, mode=, input= (square input side,
 // default 64 as in §V-B; the smoke test uses 32), threads=, seed=,
-// engine=active|fullscan, csv=/json=/profile= report files, progress=0|1.
+// engine=auto|active|fullscan|analytical (models always run a cycle
+// engine), csv=/json=/profile= report files, progress=0|1.
 
 #include <cstdio>
 #include <exception>
@@ -67,8 +68,11 @@ int main(int argc, char** argv) {
     for (const auto& m : split_csv_list(
              opts.get_string("meshes", "8x8mc4,12x12mc4,16x16mc8")))
       camp.meshes.push_back(sim::parse_mesh_spec(m));
-    camp.base.engine =
-        noc::parse_sim_engine(opts.get_string("engine", "active"));
+    // Model workloads always run a cycle engine; "auto"/"analytical" are
+    // still accepted so sweep scripts can share one engine flag (validate()
+    // rejects a forced analytical model run with a clear message).
+    sim::apply_engine_choice(
+        camp.base, sim::parse_engine_choice(opts.get_string("engine", "auto")));
     camp.base.model_seed =
         static_cast<std::uint64_t>(opts.get_int("model_seed", 43));
     camp.base.input_seed =

@@ -25,11 +25,16 @@
 // a per-link CSV (link id, kind, src->dst, flits, BT, energy) for
 // hotspot analysis.
 //
-// `engine=active|fullscan` selects the step-loop engine (the full-scan
-// reference produces identical numbers, only slower — useful for
-// differential runs), and `profile=FILE` writes the step-loop profile CSV
-// (wall-clock per variant, cycles stepped vs. idle-skipped, component
-// steps run vs. skipped, skip ratio).
+// `engine=auto|active|fullscan|analytical` selects the simulation
+// backend. "auto" (the default) evaluates each synthetic schedule with
+// the zero-load analytical engine and keeps that result when it is proven
+// exact (congestion-free), falling back to the active-set cycle engine
+// otherwise; forcing "analytical" fails contended scenarios loudly, and
+// the full-scan reference produces identical numbers to active, only
+// slower — useful for differential runs. `profile=FILE` writes the
+// step-loop profile CSV (actual engine run, wall-clock per variant,
+// cycles stepped vs. idle-skipped, component steps run vs. skipped, skip
+// ratio).
 
 #include <cstdio>
 #include <exception>
@@ -144,7 +149,8 @@ sim::CampaignSpec build_campaign(const Options& opts) {
   base.frequency_mhz = opts.get_double("freq_mhz", 125.0);
   if (!(base.frequency_mhz > 0.0))
     throw std::invalid_argument("option 'freq_mhz' must be positive");
-  base.engine = noc::parse_sim_engine(opts.get_string("engine", "active"));
+  apply_engine_choice(base,
+                      sim::parse_engine_choice(opts.get_string("engine", "auto")));
   base.model_seed = static_cast<std::uint64_t>(opts.get_int("model_seed", 42));
   base.input_seed = static_cast<std::uint64_t>(opts.get_int("input_seed", 7));
   base.max_cycles = static_cast<std::uint64_t>(get_bounded(

@@ -5,21 +5,25 @@ namespace nocbt::noc {
 std::int32_t BtRecorder::register_link(const LinkInfo& info) {
   const auto id = static_cast<std::int32_t>(links_.size());
   links_.push_back(info);
-  prev_.emplace_back(payload_bits_);
-  link_bt_.push_back(0);
-  link_flits_.push_back(0);
+  accs_.emplace_back(payload_bits_);
   return id;
 }
 
 void BtRecorder::observe(std::int32_t link_id, const BitVec& payload) {
   const auto idx = static_cast<std::size_t>(link_id);
   const auto kind = static_cast<std::size_t>(links_[idx].kind);
-  const auto bt = static_cast<std::uint64_t>(prev_[idx].transitions_to(payload));
-  prev_[idx] = payload;
-  link_bt_[idx] += bt;
-  ++link_flits_[idx];
-  kind_bt_[kind] += bt;
+  kind_bt_[kind] += accs_[idx].observe(payload);
   ++kind_flits_[kind];
+}
+
+void BtRecorder::absorb(std::int32_t link_id, const LinkAccumulator& partial) {
+  const auto idx = static_cast<std::size_t>(link_id);
+  const auto kind = static_cast<std::size_t>(links_[idx].kind);
+  accs_[idx].prev = partial.prev;
+  accs_[idx].flits += partial.flits;
+  accs_[idx].transitions += partial.transitions;
+  kind_bt_[kind] += partial.transitions;
+  kind_flits_[kind] += partial.flits;
 }
 
 bool BtRecorder::in_scope(LinkKind kind) const noexcept {
@@ -47,7 +51,7 @@ std::vector<LinkObservation> BtRecorder::snapshot() const {
   out.reserve(links_.size());
   for (std::size_t i = 0; i < links_.size(); ++i)
     out.push_back(LinkObservation{static_cast<std::int32_t>(i), links_[i],
-                                  link_flits_[i], link_bt_[i]});
+                                  accs_[i].flits, accs_[i].transitions});
   return out;
 }
 
@@ -64,9 +68,11 @@ double BtRecorder::bt_per_flit() const noexcept {
 }
 
 void BtRecorder::reset() noexcept {
-  for (auto& p : prev_) p.clear();
-  for (auto& b : link_bt_) b = 0;
-  for (auto& f : link_flits_) f = 0;
+  for (auto& a : accs_) {
+    a.prev.clear();
+    a.flits = 0;
+    a.transitions = 0;
+  }
   for (int k = 0; k < 3; ++k) {
     kind_bt_[k] = 0;
     kind_flits_[k] = 0;

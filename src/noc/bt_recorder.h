@@ -54,6 +54,46 @@ struct LinkObservation {
          a.transitions == b.transitions;
 }
 
+/// One link's live wire state + counters. This is the unit of BT
+/// accounting shared by the cycle engines (via BtRecorder::observe, one
+/// flit at a time) and the analytical engine (whole packets at a time,
+/// and thread-local partials absorbed at the end). Keeping the XOR/latch
+/// in one place means the two paths cannot drift.
+struct LinkAccumulator {
+  BitVec prev;  ///< wire state: payload of the last flit that crossed
+  std::uint64_t flits = 0;
+  std::uint64_t transitions = 0;
+
+  LinkAccumulator() = default;
+  explicit LinkAccumulator(unsigned payload_bits) : prev(payload_bits) {}
+
+  /// One flit crossing: charge popcount(prev XOR payload), latch payload.
+  /// Returns the transitions charged so callers can mirror them into
+  /// per-class totals.
+  std::uint64_t observe(const BitVec& payload) {
+    const auto bt = static_cast<std::uint64_t>(prev.transitions_to(payload));
+    prev = payload;
+    transitions += bt;
+    ++flits;
+    return bt;
+  }
+
+  /// A whole packet crossing back-to-back (flits on consecutive wire
+  /// beats): the boundary transition against the current wire state plus
+  /// the packet's precomputed internal transitions, in O(1) popcounts.
+  /// Exactly equivalent to observe()-ing every flit in order.
+  std::uint64_t observe_packet(const BitVec& first, const BitVec& last,
+                               std::uint64_t intra_bt,
+                               std::uint64_t packet_flits) {
+    const auto bt =
+        static_cast<std::uint64_t>(prev.transitions_to(first)) + intra_bt;
+    prev = last;
+    transitions += bt;
+    flits += packet_flits;
+    return bt;
+  }
+};
+
 /// Accumulates bit transitions per link and per link class.
 class BtRecorder {
  public:
@@ -65,6 +105,12 @@ class BtRecorder {
 
   /// Record one flit payload crossing link `link_id`.
   void observe(std::int32_t link_id, const BitVec& payload);
+
+  /// Fold a finished per-link partial into link `link_id`. The partial
+  /// must describe *all* traffic on that link starting from the reset wire
+  /// state (all-zero) — the analytical engine owns each link with exactly
+  /// one accumulator, so absorbing is a plain add + wire-state adoption.
+  void absorb(std::int32_t link_id, const LinkAccumulator& partial);
 
   /// BTs summed over the link classes enabled in the scope config — the
   /// "NoC Bit Transition Sum" of Fig. 8.
@@ -85,10 +131,10 @@ class BtRecorder {
     return links_[static_cast<std::size_t>(id)];
   }
   [[nodiscard]] std::uint64_t link_bt(std::int32_t id) const {
-    return link_bt_[static_cast<std::size_t>(id)];
+    return accs_[static_cast<std::size_t>(id)].transitions;
   }
   [[nodiscard]] std::uint64_t link_flits(std::int32_t id) const {
-    return link_flits_[static_cast<std::size_t>(id)];
+    return accs_[static_cast<std::size_t>(id)].flits;
   }
 
   /// Frozen copies of every monitored link's counters, in link-id order.
@@ -109,9 +155,7 @@ class BtRecorder {
   BtScopeConfig scope_;
   unsigned payload_bits_;
   std::vector<LinkInfo> links_;
-  std::vector<BitVec> prev_;  // wire state per link
-  std::vector<std::uint64_t> link_bt_;
-  std::vector<std::uint64_t> link_flits_;
+  std::vector<LinkAccumulator> accs_;  // wire state + counters per link
   std::uint64_t kind_bt_[3] = {0, 0, 0};
   std::uint64_t kind_flits_[3] = {0, 0, 0};
 };

@@ -11,6 +11,11 @@ Network::Network(const NocConfig& cfg)
       bt_(cfg.bt_scope, cfg.flit_payload_bits),
       active_engine_(cfg.engine == SimEngine::kActiveSet) {
   cfg_.validate();
+  if (cfg_.engine == SimEngine::kAnalytical)
+    throw std::invalid_argument(
+        "Network: SimEngine::kAnalytical has no cycle loop; run it through "
+        "noc::AnalyticalEngine (or pick active | fullscan)");
+  stats_.sim.engine = cfg_.engine;
   const std::size_t comps = 2 * static_cast<std::size_t>(shape_.node_count());
   scheduled_.assign(comps, 0);
   run_list_.reserve(comps);

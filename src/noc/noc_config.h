@@ -10,23 +10,36 @@
 
 namespace nocbt::noc {
 
-/// Which step-loop the Network runs.
+/// Which simulation backend produces a run's measurements.
 ///
-/// kActiveSet is the production engine: `step()` visits only the components
-/// (routers/NIs) that can make progress this cycle — quiescent components
-/// are skipped entirely and woken by their channels when a flit or credit
-/// arrives — and `idle()` is an O(1) counter check. kFullScan is the
-/// retained naive reference that unconditionally walks every component
+/// kActiveSet is the production cycle engine: `step()` visits only the
+/// components (routers/NIs) that can make progress this cycle — quiescent
+/// components are skipped entirely and woken by their channels when a flit
+/// or credit arrives — and `idle()` is an O(1) counter check. kFullScan is
+/// the retained naive reference that unconditionally walks every component
 /// every cycle; it exists so differential tests (and micro_noc) can prove
-/// the active-set engine cycle- and BT-exact against it. Both engines are
-/// observationally identical; they differ in wall-clock only.
+/// the active-set engine cycle- and BT-exact against it. Both cycle engines
+/// are observationally identical; they differ in wall-clock only.
+///
+/// kAnalytical does not step cycles at all: it computes per-link flit
+/// loads, bit transitions, zero-load latencies and drain time directly
+/// from the packet schedule (see noc::AnalyticalEngine). It is exact —
+/// byte-identical to the cycle engines — whenever the schedule is
+/// congestion-free, and it proves that precondition itself. Network only
+/// runs the two cycle engines; selecting kAnalytical there throws.
 enum class SimEngine : std::uint8_t {
-  kActiveSet,  ///< event-skipping worklist engine (default)
-  kFullScan,   ///< naive all-components-every-cycle reference
+  kActiveSet,   ///< event-skipping worklist cycle engine (default)
+  kFullScan,    ///< naive all-components-every-cycle reference
+  kAnalytical,  ///< zero-load analytical backend (noc::AnalyticalEngine)
 };
 
 [[nodiscard]] inline const char* to_string(SimEngine engine) noexcept {
-  return engine == SimEngine::kFullScan ? "fullscan" : "active";
+  switch (engine) {
+    case SimEngine::kActiveSet: return "active";
+    case SimEngine::kFullScan: return "fullscan";
+    case SimEngine::kAnalytical: return "analytical";
+  }
+  return "?";
 }
 
 [[nodiscard]] inline SimEngine parse_sim_engine(const std::string& s) {
@@ -34,8 +47,10 @@ enum class SimEngine : std::uint8_t {
     return SimEngine::kActiveSet;
   if (s == "fullscan" || s == "full-scan" || s == "naive")
     return SimEngine::kFullScan;
+  if (s == "analytical" || s == "analytic")
+    return SimEngine::kAnalytical;
   throw std::invalid_argument("parse_sim_engine: unknown engine '" + s +
-                              "' (want active | fullscan)");
+                              "' (want active | fullscan | analytical)");
 }
 
 /// Which link classes the BT recorder accumulates. The paper's Fig. 8 sums

@@ -13,10 +13,17 @@
 #include <chrono>
 #include <cstdint>
 
+#include "noc/noc_config.h"
+
 namespace nocbt::noc {
 
 /// Deterministic step-loop counters, accumulated by the Network.
 struct SimProfile {
+  /// Which backend actually produced the run's measurements. Filled by the
+  /// Network (from its config) and by AnalyticalEngine; under campaign
+  /// auto-selection this records the engine that *ran*, which may differ
+  /// from the one the spec requested as its cycle-engine fallback.
+  SimEngine engine = SimEngine::kActiveSet;
   /// Network::step() invocations (cycles actually simulated).
   std::uint64_t cycles_stepped = 0;
   /// Cycles jumped over by advance_idle() (no component ran).
@@ -39,7 +46,7 @@ struct SimProfile {
 
 [[nodiscard]] inline bool operator==(const SimProfile& a,
                                      const SimProfile& b) noexcept {
-  return a.cycles_stepped == b.cycles_stepped &&
+  return a.engine == b.engine && a.cycles_stepped == b.cycles_stepped &&
          a.idle_cycles_skipped == b.idle_cycles_skipped &&
          a.components_stepped == b.components_stepped &&
          a.components_skipped == b.components_skipped;

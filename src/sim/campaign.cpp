@@ -14,6 +14,7 @@
 #include "common/csv.h"
 #include "common/json_writer.h"
 #include "common/table.h"
+#include "noc/analytical_engine.h"
 #include "noc/network.h"
 #include "ordering/strategy.h"
 #include "sim/traffic_gen.h"
@@ -109,7 +110,11 @@ VariantOutcome run_traffic_variant(const ScenarioSpec& spec,
   // replayed workload with long quiet periods cannot trip it.
   std::uint64_t active_steps = 0;
   while (pending || !net.idle()) {
-    if (active_steps > spec.max_cycles) return out;  // drained stays false
+    if (active_steps > spec.max_cycles) {  // drained stays false
+      out.sim = net.stats().sim;
+      out.wall_ms = timer.millis();
+      return out;
+    }
     if (pending && pending->cycle > net.cycle() && net.idle()) {
       net.advance_idle(pending->cycle - net.cycle());
     }
@@ -170,12 +175,66 @@ VariantOutcome run_model_variant(const ScenarioSpec& spec,
   return out;
 }
 
+/// Evaluate a synthetic schedule through the zero-load analytical backend.
+/// Returns true when the result is exact (schedule proven congestion-free)
+/// with `out` filled; false when the schedule is contended or the config
+/// unsupported, with `why_not` explaining — the caller then regenerates
+/// the identical schedule (generators are deterministic in the spec) on a
+/// cycle engine.
+bool run_analytical_variant(const ScenarioSpec& spec,
+                            ordering::OrderingMode mode, bool want_links,
+                            VariantOutcome& out, std::string& why_not) {
+  const noc::WallTimer timer;
+  noc::AnalyticalEngine eng(spec.noc_config());
+  const accel::FlitLayout layout{spec.values_per_flit, value_bits(spec.format)};
+  auto gen = make_generator(spec);
+  while (auto pending = gen->next())
+    eng.inject(pending->cycle, pending->src, pending->dst,
+               build_payloads(*pending, spec.format, layout, mode));
+  if (!eng.run()) {
+    why_not = eng.contention_detail();
+    return false;
+  }
+  out.bt = eng.bt().total();
+  out.cycles = eng.cycle();
+  out.packets = eng.stats().packets_delivered;
+  out.flits = eng.stats().flits_delivered;
+  // Congestion-free means every packet is VC-assigned the cycle it is
+  // enqueued, so the cycle engines' post-step backlog samples are all 0.
+  out.peak_backlog = 0;
+  out.avg_latency = eng.stats().packet_latency.mean();
+  out.avg_hops = eng.stats().packet_hops.mean();
+  out.drained = true;
+  out.sim = eng.stats().sim;
+  if (want_links) out.links = eng.bt().snapshot();
+  out.wall_ms = timer.millis();
+  return true;
+}
+
 VariantOutcome run_variant(const ScenarioSpec& spec,
                            ordering::OrderingMode mode,
                            const ModelHooks& hooks, bool want_links) {
-  return spec.generator == GeneratorKind::kModel
-             ? run_model_variant(spec, mode, hooks, want_links)
-             : run_traffic_variant(spec, mode, want_links);
+  // Model workloads inject reactively and always need a cycle engine
+  // (validate() rejects forcing analytical on them).
+  if (spec.generator != GeneratorKind::kModel &&
+      (spec.engine_auto || spec.engine == noc::SimEngine::kAnalytical)) {
+    VariantOutcome out;
+    std::string why_not;
+    if (run_analytical_variant(spec, mode, want_links, out, why_not))
+      return out;
+    if (!spec.engine_auto)
+      throw std::runtime_error(
+          "engine=analytical cannot evaluate this schedule exactly: " +
+          why_not + " (engine=auto falls back to a cycle engine instead)");
+  }
+  // Cycle-engine path; under auto-selection kAnalytical is a policy, not a
+  // steppable backend, so the fallback runs active-set.
+  ScenarioSpec cyc = spec;
+  if (cyc.engine == noc::SimEngine::kAnalytical)
+    cyc.engine = noc::SimEngine::kActiveSet;
+  return cyc.generator == GeneratorKind::kModel
+             ? run_model_variant(cyc, mode, hooks, want_links)
+             : run_traffic_variant(cyc, mode, want_links);
 }
 
 }  // namespace
@@ -307,7 +366,11 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, const ModelHooks& hooks) {
     result.sim = ordered.sim;
     result.wall_ms_baseline = baseline.wall_ms;
     result.wall_ms_ordered = ordered.wall_ms;
-    if (!result.drained) result.error = "hit max_cycles before draining";
+    if (!result.drained)
+      result.error = "scenario '" + spec.name +
+                     "' hit the max_cycles stall guard (" +
+                     std::to_string(spec.max_cycles) +
+                     " active cycles) before draining";
   } catch (const std::exception& e) {
     result.error = e.what();
   }
@@ -415,7 +478,9 @@ std::size_t write_profile_csv(const std::string& path,
                  "cycles", "cycles_stepped", "idle_cycles_skipped",
                  "components_stepped", "components_skipped", "skip_ratio"});
   for (const ScenarioResult& row : result.rows) {
-    csv.add_row({row.spec.name, noc::to_string(row.spec.engine),
+    // row.sim.engine is the backend that actually ran the ordered variant
+    // (auto-selection may pick analytical over the spec's cycle engine).
+    csv.add_row({row.spec.name, noc::to_string(row.sim.engine),
                  format_double(row.wall_ms_baseline, 3),
                  format_double(row.wall_ms_ordered, 3),
                  std::to_string(row.cycles),

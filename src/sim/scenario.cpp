@@ -26,8 +26,10 @@ GeneratorKind parse_generator_kind(const std::string& s) {
   if (s == "burst") return GeneratorKind::kBurst;
   if (s == "replay") return GeneratorKind::kReplay;
   if (s == "model" || s == "lenet") return GeneratorKind::kModel;
-  throw std::invalid_argument("parse_generator_kind: unknown generator '" + s +
-                              "'");
+  throw std::invalid_argument(
+      "parse_generator_kind: unknown generator '" + s +
+      "' (want uniform | transpose | bitcomp | hotspot | burst | replay | "
+      "model)");
 }
 
 std::string to_string(ValueDist dist) {
@@ -44,7 +46,27 @@ ValueDist parse_value_dist(const std::string& s) {
   if (s == "normal" || s == "gaussian") return ValueDist::kNormal;
   if (s == "laplace") return ValueDist::kLaplace;
   throw std::invalid_argument("parse_value_dist: unknown distribution '" + s +
-                              "'");
+                              "' (want uniform | normal | laplace)");
+}
+
+EngineChoice parse_engine_choice(const std::string& s) {
+  if (s == "auto") return EngineChoice{};
+  try {
+    return EngineChoice{false, noc::parse_sim_engine(s)};
+  } catch (const std::invalid_argument&) {
+    throw std::invalid_argument(
+        "parse_engine_choice: unknown engine '" + s +
+        "' (want auto | active | fullscan | analytical)");
+  }
+}
+
+std::string to_string(const EngineChoice& choice) {
+  return choice.auto_select ? "auto" : noc::to_string(choice.engine);
+}
+
+void apply_engine_choice(ScenarioSpec& spec, const EngineChoice& choice) {
+  spec.engine_auto = choice.auto_select;
+  if (!choice.auto_select) spec.engine = choice.engine;
 }
 
 noc::NocConfig ScenarioSpec::noc_config() const {
@@ -75,7 +97,14 @@ void ScenarioSpec::validate() const {
     throw std::invalid_argument(
         "ScenarioSpec: energy_per_transition_pj and frequency_mhz must be "
         "positive");
+  if (max_cycles < 1)
+    throw std::invalid_argument("ScenarioSpec: max_cycles must be >= 1");
   if (generator == GeneratorKind::kModel) {
+    if (!engine_auto && engine == noc::SimEngine::kAnalytical)
+      throw std::invalid_argument(
+          "ScenarioSpec: model workloads inject reactively (sinks respond "
+          "to deliveries) and need a cycle engine — engine=analytical "
+          "cannot replay them; use engine=auto, active or fullscan");
     if (num_mcs < 1 || num_mcs >= rows * cols)
       throw std::invalid_argument("ScenarioSpec: bad MC count for model workload");
     noc::NocConfig cfg = noc_config();
@@ -116,7 +145,10 @@ void ScenarioSpec::validate() const {
   if (generator == GeneratorKind::kHotspot &&
       (hotspot_node < -1 || hotspot_node >= rows * cols))
     throw std::invalid_argument(
-        "ScenarioSpec: hotspot_node must be -1 (mesh center) or a node id");
+        "ScenarioSpec: hotspot_node " + std::to_string(hotspot_node) +
+        " outside the " + std::to_string(rows) + "x" + std::to_string(cols) +
+        " mesh (want -1 for the mesh center, or a node id in [0, " +
+        std::to_string(rows * cols - 1) + "])");
   if (generator == GeneratorKind::kBurst && burst_len < 1)
     throw std::invalid_argument("ScenarioSpec: burst_len must be >= 1");
   if (generator == GeneratorKind::kReplay && trace_path.empty())

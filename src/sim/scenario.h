@@ -40,6 +40,28 @@ enum class ValueDist : std::uint8_t {
 [[nodiscard]] std::string to_string(ValueDist dist);
 [[nodiscard]] ValueDist parse_value_dist(const std::string& s);
 
+struct ScenarioSpec;
+
+/// The campaign-level engine selector ("engine=" on the CLIs): either
+/// auto-selection (analytical when exact, cycle engine otherwise) or one
+/// forced backend. Kept distinct from noc::SimEngine because "auto" is a
+/// campaign policy, not a backend the NoC library knows about.
+struct EngineChoice {
+  bool auto_select = true;
+  /// The forced backend, or the fallback cycle engine under auto_select.
+  noc::SimEngine engine = noc::SimEngine::kActiveSet;
+
+  friend bool operator==(const EngineChoice&, const EngineChoice&) = default;
+};
+
+/// Parse "auto | active | fullscan | analytical" (plus parse_sim_engine's
+/// aliases). Throws std::invalid_argument listing the valid values.
+[[nodiscard]] EngineChoice parse_engine_choice(const std::string& s);
+[[nodiscard]] std::string to_string(const EngineChoice& choice);
+
+/// Apply a parsed choice to a spec (engine + engine_auto).
+void apply_engine_choice(ScenarioSpec& spec, const EngineChoice& choice);
+
 /// One point of the evaluation grid.
 struct ScenarioSpec {
   std::string name;  ///< unique within a campaign (set by expansion)
@@ -84,9 +106,16 @@ struct ScenarioSpec {
   std::uint64_t seed = 1;          ///< derived per-scenario by expansion
   std::uint64_t max_cycles = 5'000'000;  ///< per-variant stall guard
 
-  /// Step-loop engine (active-set by default; fullscan selects the naive
-  /// reference — same results, more wall-clock — for differential runs).
+  /// Requested simulation backend. With engine_auto (the default) this is
+  /// the *cycle-engine fallback*: the campaign runner first evaluates the
+  /// schedule analytically and keeps that result when it is proven exact
+  /// (congestion-free), falling back to `engine` otherwise. With
+  /// engine_auto off the spec runs exactly `engine` — forcing kAnalytical
+  /// on a contended schedule fails the scenario loudly rather than
+  /// silently approximating. SimProfile::engine records which backend
+  /// actually ran.
   noc::SimEngine engine = noc::SimEngine::kActiveSet;
+  bool engine_auto = true;
 
   /// NoC configuration implied by the spec. Self-traffic is rejected for
   /// synthetic patterns (none emits it, so it would indicate a generator

@@ -157,6 +157,36 @@ TEST(Campaign, SparseScheduleFastForwardsIdleGaps) {
   EXPECT_GT(row.cycles, 3'000'000u);  // clock still reflects schedule time
 }
 
+TEST(Campaign, StallGuardFailsLoudlyAndNamesTheScenario) {
+  // Regression: hitting the max_cycles stall guard must produce an error
+  // row whose diagnostic names the scenario and the guard value — not a
+  // silent truncation. Saturating traffic keeps the schedule contended so
+  // the cycle engine (not the analytical fast path) is what stalls.
+  CampaignSpec camp = small_campaign();
+  camp.generators = {GeneratorKind::kUniform};
+  camp.formats = {DataFormat::kFixed8};
+  camp.modes = {ordering::OrderingMode::kSeparated};
+  camp.base.packets = 64;
+  camp.base.injection_rate = 4.0;
+  camp.base.max_cycles = 3;  // tiny: trips immediately
+  const auto result = run_campaign(camp);
+  ASSERT_EQ(result.rows.size(), 1u);
+  const ScenarioResult& row = result.rows[0];
+  EXPECT_FALSE(row.drained);
+  ASSERT_FALSE(row.error.empty());
+  EXPECT_NE(row.error.find(row.spec.name), std::string::npos) << row.error;
+  EXPECT_NE(row.error.find("max_cycles"), std::string::npos) << row.error;
+  EXPECT_NE(row.error.find("3"), std::string::npos) << row.error;
+  // The stalled row renders as a failure in the table, not as "ok".
+  const std::string table = render_table(result);
+  EXPECT_EQ(table.find(" ok"), std::string::npos) << table;
+  // max_cycles = 0 cannot even start: rejected up front.
+  camp.base.max_cycles = 0;
+  const auto zero = run_campaign(camp);
+  EXPECT_NE(zero.rows[0].error.find("max_cycles"), std::string::npos)
+      << zero.rows[0].error;
+}
+
 TEST(Campaign, NanRateIsRejected) {
   CampaignSpec camp = small_campaign();
   camp.generators = {GeneratorKind::kUniform};

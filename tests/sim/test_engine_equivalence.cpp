@@ -81,6 +81,7 @@ ScenarioSpec base_spec(GeneratorKind gen, std::int32_t rows,
 }
 
 void run_cross_engine(ScenarioSpec spec, const ModelHooks& hooks) {
+  spec.engine_auto = false;  // this suite pins the two *cycle* engines
   spec.engine = noc::SimEngine::kActiveSet;
   const ScenarioResult active = run_scenario(spec, hooks);
   spec.engine = noc::SimEngine::kFullScan;
@@ -126,6 +127,158 @@ TEST(GeneratorEquivalenceReplay, ActiveSetMatchesFullScan) {
   ScenarioSpec spec = base_spec(GeneratorKind::kReplay, 4, 4);
   spec.trace_path = path;
   run_cross_engine(spec, ModelHooks{});
+}
+
+// ---- analytical backend ------------------------------------------------
+
+/// Everything the reports are built from must match between the analytical
+/// and a cycle engine: BT/energy/power columns, cycles, transport stats,
+/// per-link rows. Step-loop counters are backend-specific by design (the
+/// analytical engine steps nothing) so `sim` is compared field-by-field
+/// where meaningful instead.
+void expect_equivalent_transport(const ScenarioResult& ana,
+                                 const ScenarioResult& cyc) {
+  ASSERT_EQ(ana.error, cyc.error);
+  EXPECT_EQ(ana.bt_baseline, cyc.bt_baseline);
+  EXPECT_EQ(ana.bt_ordered, cyc.bt_ordered);
+  EXPECT_EQ(ana.reduction, cyc.reduction);
+  EXPECT_EQ(ana.energy_baseline_pj, cyc.energy_baseline_pj);
+  EXPECT_EQ(ana.energy_pj, cyc.energy_pj);
+  EXPECT_EQ(ana.power_baseline_mw, cyc.power_baseline_mw);
+  EXPECT_EQ(ana.power_mw, cyc.power_mw);
+  EXPECT_EQ(ana.cycles, cyc.cycles);
+  EXPECT_EQ(ana.packets, cyc.packets);
+  EXPECT_EQ(ana.flits, cyc.flits);
+  EXPECT_EQ(ana.peak_backlog, cyc.peak_backlog);
+  EXPECT_EQ(ana.avg_latency, cyc.avg_latency);
+  EXPECT_EQ(ana.avg_hops, cyc.avg_hops);
+  EXPECT_EQ(ana.drained, cyc.drained);
+  EXPECT_EQ(ana.links, cyc.links);
+}
+
+ScenarioResult run_forced(ScenarioSpec spec, noc::SimEngine engine) {
+  spec.engine_auto = false;
+  spec.engine = engine;
+  return run_scenario(spec, ModelHooks{});
+}
+
+/// A spec sparse enough that its schedule is congestion-free (each test
+/// asserts that by checking the analytical backend accepted it, so a
+/// drifted generator cannot silently weaken this suite into comparing an
+/// approximation).
+ScenarioSpec sparse_spec(GeneratorKind gen, std::int32_t rows,
+                         std::int32_t cols, DataFormat format,
+                         std::uint32_t window) {
+  ScenarioSpec spec = base_spec(gen, rows, cols);
+  spec.format = format;
+  spec.window = window;
+  spec.packets = 24;
+  // Mean 5000-cycle gaps: zero-load traffic for every generator at this
+  // pinned seed (the tests assert the analytical backend *proved* that,
+  // so a drift here fails loudly rather than weakening the comparison).
+  spec.injection_rate = 2e-4;
+  spec.burst_len = 1;          // kBurst: single-packet bursts, long gaps
+  spec.burst_gap = 300;
+  return spec;
+}
+
+class AnalyticalEquivalence : public ::testing::TestWithParam<GeneratorKind> {
+};
+
+TEST_P(AnalyticalEquivalence, MatchesActiveSetByteForByte) {
+  for (const auto& [rows, cols] : {std::pair<std::int32_t, std::int32_t>{4, 4},
+                                   {6, 3}}) {
+    if (GetParam() == GeneratorKind::kTranspose && rows != cols) continue;
+    for (const DataFormat format : {DataFormat::kFixed8, DataFormat::kFloat32})
+      for (const std::uint32_t window : {8u, 32u}) {
+        const ScenarioSpec spec =
+            sparse_spec(GetParam(), rows, cols, format, window);
+        const ScenarioResult ana =
+            run_forced(spec, noc::SimEngine::kAnalytical);
+        ASSERT_TRUE(ana.error.empty())
+            << rows << "x" << cols << " w" << window << ": " << ana.error;
+        ASSERT_EQ(ana.sim.engine, noc::SimEngine::kAnalytical);
+        EXPECT_EQ(ana.sim.cycles_stepped, 0u);
+        const ScenarioResult active =
+            run_forced(spec, noc::SimEngine::kActiveSet);
+        EXPECT_EQ(active.sim.engine, noc::SimEngine::kActiveSet);
+        expect_equivalent_transport(ana, active);
+      }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGenerators, AnalyticalEquivalence,
+    ::testing::Values(GeneratorKind::kUniform, GeneratorKind::kTranspose,
+                      GeneratorKind::kBitComplement, GeneratorKind::kHotspot,
+                      GeneratorKind::kBurst),
+    [](const auto& info) { return to_string(info.param); });
+
+TEST(AnalyticalEquivalenceReplay, MatchesActiveSet) {
+  noc::PacketTrace trace;
+  trace.record({1, 0, 15, 3, 0, 14, 6});
+  trace.record({2, 5, 5, 2, 60, 65, 0});  // self-delivered
+  trace.record({3, 12, 3, 1, 900, 911, 5});
+  trace.record({4, 7, 8, 4, 960, 972, 1});
+  const std::string path =
+      ::testing::TempDir() + "/analytical_equivalence_trace.csv";
+  ASSERT_EQ(trace.dump_csv(path), 4u);
+
+  ScenarioSpec spec = base_spec(GeneratorKind::kReplay, 4, 4);
+  spec.trace_path = path;
+  const ScenarioResult ana = run_forced(spec, noc::SimEngine::kAnalytical);
+  ASSERT_TRUE(ana.error.empty()) << ana.error;
+  ASSERT_EQ(ana.sim.engine, noc::SimEngine::kAnalytical);
+  expect_equivalent_transport(ana, run_forced(spec, noc::SimEngine::kActiveSet));
+}
+
+TEST(EngineAutoSelect, PicksAnalyticalWhenCongestionFree) {
+  ScenarioSpec spec =
+      sparse_spec(GeneratorKind::kUniform, 4, 4, DataFormat::kFixed8, 32);
+  ASSERT_TRUE(spec.engine_auto);  // the default policy
+  const ScenarioResult autosel = run_scenario(spec, ModelHooks{});
+  ASSERT_TRUE(autosel.error.empty()) << autosel.error;
+  EXPECT_EQ(autosel.sim.engine, noc::SimEngine::kAnalytical);
+  // Auto-selection is result-invisible: identical to forcing analytical.
+  EXPECT_TRUE(autosel == run_forced(spec, noc::SimEngine::kAnalytical));
+}
+
+TEST(EngineAutoSelect, FallsBackToCycleEngineUnderContention) {
+  ScenarioSpec spec = base_spec(GeneratorKind::kUniform, 4, 4);
+  spec.injection_rate = 2.0;  // saturating: schedules overlap heavily
+  spec.packets = 64;
+  const ScenarioResult autosel = run_scenario(spec, ModelHooks{});
+  ASSERT_TRUE(autosel.error.empty()) << autosel.error;
+  EXPECT_EQ(autosel.sim.engine, noc::SimEngine::kActiveSet);
+  EXPECT_GT(autosel.sim.cycles_stepped, 0u);
+  EXPECT_TRUE(autosel == run_forced(spec, noc::SimEngine::kActiveSet));
+  // The fallback honors the spec's cycle engine choice.
+  ScenarioSpec full = spec;
+  full.engine = noc::SimEngine::kFullScan;
+  const ScenarioResult fs = run_scenario(full, ModelHooks{});
+  EXPECT_EQ(fs.sim.engine, noc::SimEngine::kFullScan);
+}
+
+TEST(EngineAutoSelect, ForcedAnalyticalFailsLoudlyUnderContention) {
+  ScenarioSpec spec = base_spec(GeneratorKind::kUniform, 4, 4);
+  spec.injection_rate = 2.0;
+  spec.packets = 64;
+  const ScenarioResult forced = run_forced(spec, noc::SimEngine::kAnalytical);
+  ASSERT_FALSE(forced.error.empty());
+  EXPECT_NE(forced.error.find("engine=analytical"), std::string::npos)
+      << forced.error;
+  EXPECT_NE(forced.error.find("congestion-free"), std::string::npos)
+      << forced.error;
+}
+
+TEST(EngineAutoSelect, ForcedAnalyticalRejectsModelWorkloads) {
+  ScenarioSpec spec = base_spec(GeneratorKind::kModel, 4, 4);
+  spec.engine_auto = false;
+  spec.engine = noc::SimEngine::kAnalytical;
+  const ScenarioResult result = run_scenario(spec, lenet_hooks());
+  ASSERT_FALSE(result.error.empty());
+  EXPECT_NE(result.error.find("cycle engine"), std::string::npos)
+      << result.error;
 }
 
 TEST(GeneratorEquivalenceModel, LenetInferenceMatchesFullScan) {

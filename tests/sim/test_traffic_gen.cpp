@@ -141,6 +141,27 @@ TEST(TrafficGen, HotspotHonorsExplicitNode) {
   }
 }
 
+TEST(TrafficGen, HotspotNodeOutsideMeshIsRejectedUpFront) {
+  // Regression: an out-of-mesh hotspot id must be caught by validate()
+  // with a message naming the value and the valid range, not surface as an
+  // injection bounds error mid-campaign.
+  ScenarioSpec spec = base_spec(GeneratorKind::kHotspot);
+  spec.hotspot_node = 16;  // 4x4 mesh: node ids are [0, 15]
+  try {
+    auto gen = make_generator(spec);
+    FAIL() << "out-of-mesh hotspot_node was accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("hotspot_node 16"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("4x4"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("[0, 15]"), std::string::npos) << msg;
+  }
+  spec.hotspot_node = -2;
+  EXPECT_THROW(make_generator(spec), std::invalid_argument);
+  spec.hotspot_node = 15;  // boundary id stays valid
+  EXPECT_NO_THROW(make_generator(spec));
+}
+
 TEST(TrafficGen, BurstClustersInjections) {
   ScenarioSpec spec = base_spec(GeneratorKind::kBurst);
   spec.packets = 40;
