@@ -25,6 +25,14 @@
 // a per-link CSV (link id, kind, src->dst, flits, BT, energy) for
 // hotspot analysis.
 //
+// Placement workloads (`generators=placement`): `model=` picks a zoo
+// model (lenet | darknet | resnet | mobile | attention), `placement=` a
+// placement policy (rowmajor | snake | nearmc), `tiles_per_layer=` the PE
+// shards per layer. `trace_out=FILE` dumps the first scenario's
+// pre-ordering injection schedule as a payload-carrying PacketTrace CSV;
+// replaying it (`generators=replay trace=FILE`) on the same mesh, format
+// and slots reproduces that scenario's BT/energy byte for byte.
+//
 // `engine=auto|active|fullscan|analytical` selects the simulation
 // backend. "auto" (the default) evaluates each synthetic schedule with
 // the zero-load analytical engine and keeps that result when it is proven
@@ -49,6 +57,7 @@
 #include "dnn/synthetic_data.h"
 #include "hw/energy_model.h"
 #include "sim/campaign.h"
+#include "sim/traffic_gen.h"
 
 using namespace nocbt;
 
@@ -79,7 +88,8 @@ void check_known_keys(const Options& opts) {
       "burst_len", "burst_gap", "trace",       "model_seed", "input_seed",
       "max_cycles", "threads",  "progress",    "describe",   "csv",
       "json",     "energy_pj",  "freq_mhz",    "heatmap",    "engine",
-      "profile"};
+      "profile",  "model",      "placement",   "tiles_per_layer",
+      "trace_out"};
   for (const auto& [key, value] : opts.values())
     if (known.count(key) == 0)
       throw std::invalid_argument("unknown option '" + key +
@@ -153,6 +163,10 @@ sim::CampaignSpec build_campaign(const Options& opts) {
                       sim::parse_engine_choice(opts.get_string("engine", "auto")));
   base.model_seed = static_cast<std::uint64_t>(opts.get_int("model_seed", 42));
   base.input_seed = static_cast<std::uint64_t>(opts.get_int("input_seed", 7));
+  base.model = opts.get_string("model", "lenet");
+  base.placement = opts.get_string("placement", "rowmajor");
+  base.tiles_per_layer = static_cast<std::int32_t>(
+      get_bounded(opts, "tiles_per_layer", 4, 1, 1 << 20));
   base.max_cycles = static_cast<std::uint64_t>(get_bounded(
       opts, "max_cycles", 5'000'000, 1, std::int64_t{1} << 62));
 
@@ -212,6 +226,22 @@ int main(int argc, char** argv) {
                     row.error.empty() ? "ok" : row.error.c_str());
         std::fflush(stdout);
       };
+    }
+
+    // trace_out: dump the first scenario's pre-ordering injection schedule
+    // as a payload-carrying PacketTrace CSV. Replaying it (generators=replay
+    // trace=FILE on the same mesh/format/slots) reproduces that scenario's
+    // per-link BT and energy byte for byte.
+    const std::string trace_out = opts.get_string("trace_out", "");
+    if (!trace_out.empty()) {
+      const sim::ScenarioSpec& first = scenarios.front();
+      if (first.generator == sim::GeneratorKind::kModel)
+        throw std::invalid_argument(
+            "trace_out records synthetic/placement schedules, not model "
+            "workloads (model traffic is reactive)");
+      sim::record_schedule(first).dump_csv(trace_out);
+      std::printf("wrote injection-schedule trace of '%s' to %s\n",
+                  first.name.c_str(), trace_out.c_str());
     }
 
     const sim::CampaignResult result = sim::run_campaign(camp, runner);

@@ -29,10 +29,16 @@ struct NodeRoles {
                                      std::int32_t num_mcs);
 
 /// For every mesh node, the index (into roles.mcs) of its nearest memory
-/// controller (Manhattan distance, ties to the lower MC index). Memory
-/// traffic is served by the closest controller, so fewer MCs per mesh
-/// means longer routes — the effect behind Fig. 12's "more routers per MC
-/// increase the hops".
+/// controller (Manhattan distance). Ties break to the lower MC *index*,
+/// i.e. the earlier entry of roles.mcs — with memory_controller_nodes'
+/// west-before-east ordering an equidistant node is served by a west-edge
+/// controller (and among same-edge candidates, the lower row). The rule is
+/// load-bearing on non-square meshes: on a 1xN chain with MCs at both
+/// ends, the exact middle node goes west; on a 2-row mesh a node
+/// equidistant between the two rows' controllers goes to the lower row.
+/// Memory traffic is served by the closest controller, so fewer MCs per
+/// mesh means longer routes — the effect behind Fig. 12's "more routers
+/// per MC increase the hops".
 [[nodiscard]] std::vector<std::size_t> nearest_mc_index(
     const noc::MeshShape& shape, const NodeRoles& roles);
 

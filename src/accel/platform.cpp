@@ -83,10 +83,15 @@ InferenceResult NocDnaPlatform::run(const dnn::Tensor& input) {
   // ---- one sink per node; dispatch on the packet registries ----
   for (std::int32_t node = 0; node < net.shape().node_count(); ++node) {
     net.set_sink(node, [&, node](noc::Packet&& packet, std::uint64_t cycle) {
-      result.trace.record(noc::TraceEvent{
-          packet.id, packet.src, packet.dst,
-          static_cast<std::uint32_t>(packet.payloads.size()),
-          packet.inject_cycle, cycle, packet.hops});
+      noc::TraceEvent event;
+      event.packet_id = packet.id;
+      event.src = packet.src;
+      event.dst = packet.dst;
+      event.num_flits = static_cast<std::uint32_t>(packet.payloads.size());
+      event.inject_cycle = packet.inject_cycle;
+      event.eject_cycle = cycle;
+      event.hops = packet.hops;
+      result.trace.record(event);
 
       if (const auto it = task_meta.find(packet.id); it != task_meta.end()) {
         // Data packet arrived at a PE: decode the transmitted bits and

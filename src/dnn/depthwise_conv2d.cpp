@@ -1,0 +1,107 @@
+#include "dnn/depthwise_conv2d.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nocbt::dnn {
+
+DepthwiseConv2d::DepthwiseConv2d(std::int32_t channels, std::int32_t kernel,
+                                 std::int32_t stride, std::int32_t pad)
+    : channels_(channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      weight_(Shape{channels, 1, kernel, kernel}),
+      bias_(Shape{channels, 1, 1, 1}),
+      weight_grad_(Shape{channels, 1, kernel, kernel}),
+      bias_grad_(Shape{channels, 1, 1, 1}) {
+  if (channels < 1 || kernel < 1 || stride < 1 || pad < 0)
+    throw std::invalid_argument("DepthwiseConv2d: invalid geometry");
+}
+
+std::string DepthwiseConv2d::name() const {
+  return "dwconv" + std::to_string(kernel_) + "x" + std::to_string(kernel_) +
+         "_" + std::to_string(channels_);
+}
+
+Shape DepthwiseConv2d::output_shape(Shape input) const {
+  const std::int32_t oh = (input.h + 2 * pad_ - kernel_) / stride_ + 1;
+  const std::int32_t ow = (input.w + 2 * pad_ - kernel_) / stride_ + 1;
+  return Shape{input.n, channels_, oh, ow};
+}
+
+void DepthwiseConv2d::init_kaiming(Rng& rng) {
+  const double fan_in = static_cast<double>(kernel_) * kernel_;
+  const double bound = std::sqrt(6.0 / fan_in);
+  for (auto& v : weight_.data())
+    v = static_cast<float>(rng.uniform(-bound, bound));
+  bias_.zero();
+}
+
+Tensor DepthwiseConv2d::forward(const Tensor& input) {
+  if (input.shape().c != channels_)
+    throw std::invalid_argument("DepthwiseConv2d::forward: channel mismatch");
+  cached_input_ = input;
+  const Shape out_shape = output_shape(input.shape());
+  Tensor out(out_shape);
+  const Shape in_shape = input.shape();
+
+  for (std::int32_t n = 0; n < out_shape.n; ++n) {
+    for (std::int32_t c = 0; c < channels_; ++c) {
+      const float b = bias_.at(c, 0, 0, 0);
+      for (std::int32_t oh = 0; oh < out_shape.h; ++oh) {
+        for (std::int32_t ow = 0; ow < out_shape.w; ++ow) {
+          float acc = b;
+          for (std::int32_t kh = 0; kh < kernel_; ++kh) {
+            const std::int32_t ih = oh * stride_ - pad_ + kh;
+            if (ih < 0 || ih >= in_shape.h) continue;
+            for (std::int32_t kw = 0; kw < kernel_; ++kw) {
+              const std::int32_t iw = ow * stride_ - pad_ + kw;
+              if (iw < 0 || iw >= in_shape.w) continue;
+              acc += input.at(n, c, ih, iw) * weight_.at(c, 0, kh, kw);
+            }
+          }
+          out.at(n, c, oh, ow) = acc;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor DepthwiseConv2d::backward(const Tensor& grad_output) {
+  const Shape in_shape = cached_input_.shape();
+  const Shape out_shape = grad_output.shape();
+  Tensor grad_input(in_shape);
+
+  for (std::int32_t n = 0; n < out_shape.n; ++n) {
+    for (std::int32_t c = 0; c < channels_; ++c) {
+      for (std::int32_t oh = 0; oh < out_shape.h; ++oh) {
+        for (std::int32_t ow = 0; ow < out_shape.w; ++ow) {
+          const float g = grad_output.at(n, c, oh, ow);
+          if (g == 0.0f) continue;
+          bias_grad_.at(c, 0, 0, 0) += g;
+          for (std::int32_t kh = 0; kh < kernel_; ++kh) {
+            const std::int32_t ih = oh * stride_ - pad_ + kh;
+            if (ih < 0 || ih >= in_shape.h) continue;
+            for (std::int32_t kw = 0; kw < kernel_; ++kw) {
+              const std::int32_t iw = ow * stride_ - pad_ + kw;
+              if (iw < 0 || iw >= in_shape.w) continue;
+              weight_grad_.at(c, 0, kh, kw) +=
+                  cached_input_.at(n, c, ih, iw) * g;
+              grad_input.at(n, c, ih, iw) += weight_.at(c, 0, kh, kw) * g;
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::vector<ParamRef> DepthwiseConv2d::params() {
+  return {{&weight_, &weight_grad_, name() + ".weight"},
+          {&bias_, &bias_grad_, name() + ".bias"}};
+}
+
+}  // namespace nocbt::dnn

@@ -1,0 +1,61 @@
+#pragma once
+// Depthwise 2-D convolution with bias: one k x k filter per channel, no
+// cross-channel mixing (the spatial half of a MobileNet-style depthwise-
+// separable block; the 1x1 pointwise half is a plain Conv2d).
+//
+// As a platform task source each output pixel of channel c consumes only
+// channel c's k x k input window — the placement engine exploits this to
+// slice inter-layer activation traffic per channel.
+
+#include <string>
+
+#include "common/rng.h"
+#include "dnn/layer.h"
+
+namespace nocbt::dnn {
+
+class DepthwiseConv2d final : public Layer {
+ public:
+  /// Kernel is square (k x k); `pad` is symmetric zero padding. Channel
+  /// count is both input and output width.
+  DepthwiseConv2d(std::int32_t channels, std::int32_t kernel,
+                  std::int32_t stride = 1, std::int32_t pad = 0);
+
+  [[nodiscard]] LayerKind kind() const noexcept override {
+    return LayerKind::kDepthwiseConv2d;
+  }
+  [[nodiscard]] std::string name() const override;
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<ParamRef> params() override;
+  [[nodiscard]] Shape output_shape(Shape input) const override;
+
+  /// Kaiming-uniform initialization (fan-in = k*k), zero bias.
+  void init_kaiming(Rng& rng);
+
+  [[nodiscard]] std::int32_t channels() const noexcept { return channels_; }
+  [[nodiscard]] std::int32_t kernel() const noexcept { return kernel_; }
+  [[nodiscard]] std::int32_t stride() const noexcept { return stride_; }
+  [[nodiscard]] std::int32_t pad() const noexcept { return pad_; }
+
+  /// Weights, shape {channels, 1, kernel, kernel}.
+  [[nodiscard]] const Tensor& weight() const noexcept { return weight_; }
+  [[nodiscard]] Tensor& weight() noexcept { return weight_; }
+  /// Bias, shape {channels, 1, 1, 1}.
+  [[nodiscard]] const Tensor& bias() const noexcept { return bias_; }
+  [[nodiscard]] Tensor& bias() noexcept { return bias_; }
+
+ private:
+  std::int32_t channels_;
+  std::int32_t kernel_;
+  std::int32_t stride_;
+  std::int32_t pad_;
+  Tensor weight_;
+  Tensor bias_;
+  Tensor weight_grad_;
+  Tensor bias_grad_;
+  Tensor cached_input_;
+};
+
+}  // namespace nocbt::dnn

@@ -22,6 +22,8 @@ enum class LayerKind {
   kLeakyRelu,
   kTanh,
   kFlatten,
+  kDepthwiseConv2d,
+  kResidual,
 };
 
 /// A named (value, gradient) parameter pair exposed to the optimizer.

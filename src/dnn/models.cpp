@@ -4,17 +4,27 @@
 
 #include "dnn/activation.h"
 #include "dnn/conv2d.h"
+#include "dnn/depthwise_conv2d.h"
 #include "dnn/linear.h"
 #include "dnn/pooling.h"
+#include "dnn/residual.h"
 
 namespace nocbt::dnn {
 namespace {
 
 void init_layer(Layer& layer, Rng& rng) {
-  if (layer.kind() == LayerKind::kConv2d)
+  if (layer.kind() == LayerKind::kConv2d) {
     static_cast<Conv2d&>(layer).init_kaiming(rng);
-  else if (layer.kind() == LayerKind::kLinear)
+  } else if (layer.kind() == LayerKind::kLinear) {
     static_cast<Linear&>(layer).init_kaiming(rng);
+  } else if (layer.kind() == LayerKind::kDepthwiseConv2d) {
+    static_cast<DepthwiseConv2d&>(layer).init_kaiming(rng);
+  } else if (layer.kind() == LayerKind::kResidual) {
+    auto& res = static_cast<Residual&>(layer);
+    for (std::size_t i = 0; i < res.body().size(); ++i)
+      init_layer(res.body().layer(i), rng);
+    if (res.projection() != nullptr) res.projection()->init_kaiming(rng);
+  }
 }
 
 }  // namespace

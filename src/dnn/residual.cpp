@@ -1,0 +1,62 @@
+#include "dnn/residual.h"
+
+#include <stdexcept>
+
+namespace nocbt::dnn {
+
+Residual::Residual(Sequential body, std::unique_ptr<Conv2d> projection)
+    : body_(std::move(body)), projection_(std::move(projection)) {
+  if (body_.size() == 0)
+    throw std::invalid_argument("Residual: body must contain layers");
+}
+
+std::string Residual::name() const {
+  return "residual_" + std::to_string(body_.size()) +
+         (projection_ ? "_proj" : "");
+}
+
+Shape Residual::output_shape(Shape input) const {
+  const Shape out = body_.output_shape(input);
+  const Shape shortcut =
+      projection_ ? projection_->output_shape(input) : input;
+  if (out != shortcut)
+    throw std::invalid_argument(
+        "Residual: body output " + out.to_string() +
+        " does not match shortcut " + shortcut.to_string());
+  return out;
+}
+
+Tensor Residual::forward(const Tensor& input) {
+  Tensor out = body_.forward(input);
+  if (projection_) {
+    const Tensor shortcut = projection_->forward(input);
+    if (shortcut.shape() != out.shape())
+      throw std::invalid_argument("Residual::forward: shape mismatch");
+    out.add_scaled(shortcut, 1.0f);
+  } else {
+    if (input.shape() != out.shape())
+      throw std::invalid_argument("Residual::forward: shape mismatch");
+    out.add_scaled(input, 1.0f);
+  }
+  return out;
+}
+
+Tensor Residual::backward(const Tensor& grad_output) {
+  Tensor grad_input = body_.backward(grad_output);
+  if (projection_) {
+    const Tensor grad_shortcut = projection_->backward(grad_output);
+    grad_input.add_scaled(grad_shortcut, 1.0f);
+  } else {
+    grad_input.add_scaled(grad_output, 1.0f);
+  }
+  return grad_input;
+}
+
+std::vector<ParamRef> Residual::params() {
+  std::vector<ParamRef> all = body_.params();
+  if (projection_)
+    for (auto& p : projection_->params()) all.push_back(p);
+  return all;
+}
+
+}  // namespace nocbt::dnn

@@ -1,0 +1,48 @@
+#pragma once
+// Residual block: y = body(x) + shortcut(x), where the body is an arbitrary
+// Sequential and the shortcut is identity or an optional projection conv
+// (1x1, possibly strided) when the body changes shape — the ResNet basic
+// block. The elementwise sum is what creates skip-edge traffic on the NoC:
+// the tile computing the body's last layer must also receive the shortcut
+// activations.
+
+#include <memory>
+#include <string>
+
+#include "dnn/conv2d.h"
+#include "dnn/layer.h"
+#include "dnn/sequential.h"
+
+namespace nocbt::dnn {
+
+class Residual final : public Layer {
+ public:
+  /// `projection` may be null (identity shortcut). When present its output
+  /// shape must match the body's for every input fed through forward().
+  explicit Residual(Sequential body,
+                    std::unique_ptr<Conv2d> projection = nullptr);
+
+  [[nodiscard]] LayerKind kind() const noexcept override {
+    return LayerKind::kResidual;
+  }
+  [[nodiscard]] std::string name() const override;
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<ParamRef> params() override;
+  [[nodiscard]] Shape output_shape(Shape input) const override;
+
+  [[nodiscard]] Sequential& body() noexcept { return body_; }
+  [[nodiscard]] const Sequential& body() const noexcept { return body_; }
+  /// Null for an identity shortcut.
+  [[nodiscard]] Conv2d* projection() noexcept { return projection_.get(); }
+  [[nodiscard]] const Conv2d* projection() const noexcept {
+    return projection_.get();
+  }
+
+ private:
+  Sequential body_;
+  std::unique_ptr<Conv2d> projection_;
+};
+
+}  // namespace nocbt::dnn

@@ -1,11 +1,9 @@
 #include "dnn/sequential.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
 #include <stdexcept>
-
-#include "dnn/conv2d.h"
-#include "dnn/linear.h"
 
 namespace nocbt::dnn {
 
@@ -95,16 +93,15 @@ void Sequential::load_weights(const std::string& path) {
 }
 
 std::vector<float> Sequential::weight_values() {
+  // Enumerate through params() rather than per-kind casts so composite
+  // layers (Residual) and new weighted kinds contribute automatically; for
+  // plain conv/linear stacks the order is identical to the historical
+  // per-layer walk (each layer lists .weight before .bias).
   std::vector<float> values;
-  for (auto& layer : layers_) {
-    const Tensor* weights = nullptr;
-    if (layer->kind() == LayerKind::kConv2d)
-      weights = &static_cast<const Conv2d&>(*layer).weight();
-    else if (layer->kind() == LayerKind::kLinear)
-      weights = &static_cast<const Linear&>(*layer).weight();
-    if (weights)
-      values.insert(values.end(), weights->data().begin(),
-                    weights->data().end());
+  for (const auto& p : params()) {
+    if (!p.name.ends_with(".weight")) continue;
+    values.insert(values.end(), p.value->data().begin(),
+                  p.value->data().end());
   }
   return values;
 }

@@ -1,0 +1,129 @@
+#include "dnn/zoo.h"
+
+#include <stdexcept>
+
+#include "dnn/activation.h"
+#include "dnn/conv2d.h"
+#include "dnn/depthwise_conv2d.h"
+#include "dnn/linear.h"
+#include "dnn/pooling.h"
+#include "dnn/residual.h"
+
+namespace nocbt::dnn {
+namespace {
+
+// ResNet-style: stem conv, an identity-shortcut block, a strided
+// projection-shortcut block doubling channels, global pooling head.
+// 32x32x3 input (CIFAR geometry).
+Sequential build_resnet_block(Rng& rng) {
+  Sequential model;
+  model.emplace<Conv2d>(3, 16, 3, 1, 1);  // 16 @ 32x32
+  model.emplace<Relu>();
+
+  Sequential body1;
+  body1.emplace<Conv2d>(16, 16, 3, 1, 1);
+  body1.emplace<Relu>();
+  body1.emplace<Conv2d>(16, 16, 3, 1, 1);
+  model.emplace<Residual>(std::move(body1));  // identity shortcut
+  model.emplace<Relu>();
+
+  Sequential body2;
+  body2.emplace<Conv2d>(16, 32, 3, 2, 1);  // 32 @ 16x16
+  body2.emplace<Relu>();
+  body2.emplace<Conv2d>(32, 32, 3, 1, 1);
+  model.emplace<Residual>(std::move(body2),
+                          std::make_unique<Conv2d>(16, 32, 1, 2, 0));
+  model.emplace<Relu>();
+
+  model.emplace<GlobalAvgPool>();  // 32 logit inputs
+  model.emplace<Flatten>();
+  model.emplace<Linear>(32, 10);
+  fill_weights_random(model, rng);
+  return model;
+}
+
+// MobileNet-style: strided stem then three depthwise-separable blocks
+// (depthwise 3x3 + pointwise 1x1), global pooling head. 32x32x3 input.
+Sequential build_mobile_small(Rng& rng) {
+  Sequential model;
+  model.emplace<Conv2d>(3, 8, 3, 2, 1);  // 8 @ 16x16
+  model.emplace<Relu>();
+
+  model.emplace<DepthwiseConv2d>(8, 3, 1, 1);  // 8 @ 16x16
+  model.emplace<Relu>();
+  model.emplace<Conv2d>(8, 16, 1);  // pointwise, 16 @ 16x16
+  model.emplace<Relu>();
+
+  model.emplace<DepthwiseConv2d>(16, 3, 2, 1);  // 16 @ 8x8
+  model.emplace<Relu>();
+  model.emplace<Conv2d>(16, 32, 1);  // 32 @ 8x8
+  model.emplace<Relu>();
+
+  model.emplace<DepthwiseConv2d>(32, 3, 1, 1);  // 32 @ 8x8
+  model.emplace<Relu>();
+  model.emplace<Conv2d>(32, 32, 1);  // 32 @ 8x8
+  model.emplace<Relu>();
+
+  model.emplace<GlobalAvgPool>();
+  model.emplace<Flatten>();
+  model.emplace<Linear>(32, 10);
+  fill_weights_random(model, rng);
+  return model;
+}
+
+// Attention/GEMM workload: the linear projections of one transformer block
+// at d_model = 64 — fused QKV (64->192), output projection (192->64), FFN
+// up/down (64->256->64), classifier head. The softmax attention mixing is
+// host-side arithmetic with no weights, so the NoC traffic is exactly
+// these projection GEMMs. 8x8 single-channel input = one 64-dim token.
+Sequential build_attention_block(Rng& rng) {
+  Sequential model;
+  model.emplace<Flatten>();           // 64
+  model.emplace<Linear>(64, 192);     // fused QKV projection
+  model.emplace<Relu>();
+  model.emplace<Linear>(192, 64);     // attention output projection
+  model.emplace<Relu>();
+  model.emplace<Linear>(64, 256);     // FFN up
+  model.emplace<Relu>();
+  model.emplace<Linear>(256, 64);     // FFN down
+  model.emplace<Relu>();
+  model.emplace<Linear>(64, 10);
+  fill_weights_random(model, rng);
+  return model;
+}
+
+[[noreturn]] void throw_unknown_model(const std::string& name) {
+  std::string valid;
+  for (const auto& n : zoo_model_names()) {
+    if (!valid.empty()) valid += ", ";
+    valid += n;
+  }
+  throw std::invalid_argument("unknown zoo model '" + name +
+                              "' (valid: " + valid + ")");
+}
+
+}  // namespace
+
+std::vector<std::string> zoo_model_names() {
+  return {"lenet", "darknet", "resnet", "mobile", "attention"};
+}
+
+ModelSpec zoo_model_spec(const std::string& name) {
+  if (name == "lenet") return lenet_spec();
+  if (name == "darknet") return darknet_small_spec();
+  if (name == "resnet") return ModelSpec{Shape{1, 3, 32, 32}, 10};
+  if (name == "mobile") return ModelSpec{Shape{1, 3, 32, 32}, 10};
+  if (name == "attention") return ModelSpec{Shape{1, 1, 8, 8}, 10};
+  throw_unknown_model(name);
+}
+
+Sequential build_zoo_model(const std::string& name, Rng& rng) {
+  if (name == "lenet") return build_lenet(rng);
+  if (name == "darknet") return build_darknet_small(rng);
+  if (name == "resnet") return build_resnet_block(rng);
+  if (name == "mobile") return build_mobile_small(rng);
+  if (name == "attention") return build_attention_block(rng);
+  throw_unknown_model(name);
+}
+
+}  // namespace nocbt::dnn

@@ -1,0 +1,30 @@
+#pragma once
+// Model zoo: named builders covering the workload families the placement
+// engine maps onto the mesh — the paper's LeNet/DarkNet plus a ResNet-style
+// residual stack, a MobileNet-style depthwise-separable stack, and an
+// attention/GEMM projection pipeline (the linear projections of one
+// transformer block; the softmax mixing itself runs host-side, so the NoC
+// traffic is the projection GEMMs).
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "dnn/models.h"
+#include "dnn/sequential.h"
+
+namespace nocbt::dnn {
+
+/// Registered zoo model names, in registration order:
+/// lenet, darknet, resnet, mobile, attention.
+[[nodiscard]] std::vector<std::string> zoo_model_names();
+
+/// Input geometry + class count for a zoo model. Throws
+/// std::invalid_argument listing the valid names on an unknown name.
+[[nodiscard]] ModelSpec zoo_model_spec(const std::string& name);
+
+/// Build a zoo model with Kaiming-initialized weights drawn from `rng`.
+/// Deterministic for a fixed name and rng state.
+[[nodiscard]] Sequential build_zoo_model(const std::string& name, Rng& rng);
+
+}  // namespace nocbt::dnn

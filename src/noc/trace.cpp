@@ -39,6 +39,42 @@ std::uint64_t parse_u64(const std::string& cell, std::uint64_t max_value) {
   return v;
 }
 
+/// Payload cell: each 32-bit word as exactly 8 lowercase hex digits,
+/// concatenated (empty cell = no payload).
+std::string format_payload(const std::vector<std::uint32_t>& words) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string cell;
+  cell.reserve(words.size() * 8);
+  for (const std::uint32_t w : words)
+    for (int shift = 28; shift >= 0; shift -= 4)
+      cell.push_back(kHex[(w >> shift) & 0xF]);
+  return cell;
+}
+
+std::vector<std::uint32_t> parse_payload(const std::string& cell) {
+  if (cell.size() % 8 != 0)
+    throw std::invalid_argument("payload length not a multiple of 8 digits");
+  std::vector<std::uint32_t> words;
+  words.reserve(cell.size() / 8);
+  for (std::size_t i = 0; i < cell.size(); i += 8) {
+    std::uint32_t w = 0;
+    for (std::size_t j = 0; j < 8; ++j) {
+      const char c = cell[i + j];
+      std::uint32_t nibble = 0;
+      if (c >= '0' && c <= '9')
+        nibble = static_cast<std::uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        nibble = static_cast<std::uint32_t>(c - 'a' + 10);
+      else
+        throw std::invalid_argument(std::string("bad hex digit '") + c +
+                                    "' in payload");
+      w = (w << 4) | nibble;
+    }
+    words.push_back(w);
+  }
+  return words;
+}
+
 std::int32_t parse_i32(const std::string& cell) {
   // Same whole-cell strictness as parse_u64, with an optional leading '-'.
   const std::size_t digit_at = (!cell.empty() && cell[0] == '-') ? 1 : 0;
@@ -58,14 +94,34 @@ std::int32_t parse_i32(const std::string& cell) {
 }  // namespace
 
 std::size_t PacketTrace::dump_csv(const std::string& path) const {
-  CsvWriter csv(path, {"packet_id", "src", "dst", "num_flits", "inject_cycle",
-                       "eject_cycle", "latency", "hops"});
+  bool any_payload = false;
+  for (const auto& e : events_)
+    if (e.has_payload()) {
+      any_payload = true;
+      break;
+    }
+
+  std::vector<std::string> headers = {"packet_id",    "src",
+                                      "dst",          "num_flits",
+                                      "inject_cycle", "eject_cycle",
+                                      "latency",      "hops"};
+  if (any_payload) {
+    headers.push_back("weights");
+    headers.push_back("inputs");
+  }
+  CsvWriter csv(path, headers);
   for (const auto& e : events_) {
-    csv.add_row({std::to_string(e.packet_id), std::to_string(e.src),
-                 std::to_string(e.dst), std::to_string(e.num_flits),
-                 std::to_string(e.inject_cycle), std::to_string(e.eject_cycle),
-                 std::to_string(e.eject_cycle - e.inject_cycle),
-                 std::to_string(e.hops)});
+    std::vector<std::string> row = {
+        std::to_string(e.packet_id), std::to_string(e.src),
+        std::to_string(e.dst),       std::to_string(e.num_flits),
+        std::to_string(e.inject_cycle), std::to_string(e.eject_cycle),
+        std::to_string(e.eject_cycle - e.inject_cycle),
+        std::to_string(e.hops)};
+    if (any_payload) {
+      row.push_back(format_payload(e.weights));
+      row.push_back(format_payload(e.inputs));
+    }
+    csv.add_row(row);
   }
   return csv.rows_written();
 }
@@ -74,8 +130,9 @@ PacketTrace PacketTrace::load_csv(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("PacketTrace::load_csv: cannot open " + path);
 
-  const std::string expected_header =
+  const std::string legacy_header =
       "packet_id,src,dst,num_flits,inject_cycle,eject_cycle,latency,hops";
+  const std::string payload_header = legacy_header + ",weights,inputs";
   // Tolerate CRLF line endings so a trace recorded on one platform can be
   // replayed on another.
   const auto strip_cr = [](std::string& s) {
@@ -84,8 +141,12 @@ PacketTrace PacketTrace::load_csv(const std::string& path) {
   std::string line;
   if (!std::getline(in, line)) line.clear();
   strip_cr(line);
-  if (line != expected_header)
+  bool with_payload = false;
+  if (line == payload_header)
+    with_payload = true;
+  else if (line != legacy_header)
     throw std::runtime_error("PacketTrace::load_csv: bad header in " + path);
+  const std::size_t expected_cells = with_payload ? 10 : 8;
 
   PacketTrace trace;
   std::size_t row = 1;
@@ -94,7 +155,7 @@ PacketTrace PacketTrace::load_csv(const std::string& path) {
     strip_cr(line);
     if (line.empty()) continue;
     const auto cells = split_row(line);
-    if (cells.size() != 8)
+    if (cells.size() != expected_cells)
       throw std::runtime_error("PacketTrace::load_csv: row " +
                                std::to_string(row) + " has " +
                                std::to_string(cells.size()) + " cells");
@@ -119,6 +180,15 @@ PacketTrace PacketTrace::load_csv(const std::string& path) {
         throw std::invalid_argument("latency != eject_cycle - inject_cycle");
       e.hops = static_cast<std::uint16_t>(
           parse_u64(cells[7], std::numeric_limits<std::uint16_t>::max()));
+      if (with_payload) {
+        e.weights = parse_payload(cells[8]);
+        e.inputs = parse_payload(cells[9]);
+        // Half-half flitization zips the streams pairwise, so a payload-
+        // carrying row must hold matched streams.
+        if (e.weights.size() != e.inputs.size())
+          throw std::invalid_argument(
+              "weights/inputs payload lengths differ");
+      }
       trace.record(e);
     } catch (const std::exception& e) {
       throw std::runtime_error("PacketTrace::load_csv: malformed row " +

@@ -10,7 +10,11 @@
 
 namespace nocbt::noc {
 
-/// One delivered-packet record.
+/// One delivered-packet record. `weights`/`inputs` optionally carry the
+/// packet's pre-ordering payload patterns (equal lengths; empty = geometry
+/// and timing only): with payloads a replayed trace reproduces the original
+/// run's per-link bit transitions exactly, which is what lets a placed DNN
+/// schedule be dumped and replayed byte-identically.
 struct TraceEvent {
   std::uint64_t packet_id = 0;
   std::int32_t src = -1;
@@ -19,6 +23,12 @@ struct TraceEvent {
   std::uint64_t inject_cycle = 0;
   std::uint64_t eject_cycle = 0;
   std::uint16_t hops = 0;
+  std::vector<std::uint32_t> weights;
+  std::vector<std::uint32_t> inputs;
+
+  [[nodiscard]] bool has_payload() const noexcept {
+    return !weights.empty() || !inputs.empty();
+  }
 };
 
 /// Append-only trace with CSV export.
@@ -31,12 +41,16 @@ class PacketTrace {
   }
   [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
 
-  /// Write all events to `path` as CSV. Returns rows written.
+  /// Write all events to `path` as CSV. Traces without payloads use the
+  /// original 8-column format (byte-stable with earlier versions); as soon
+  /// as any event carries payloads, two extra columns (`weights`,`inputs`)
+  /// hold each stream as concatenated 8-hex-digit words. Returns rows
+  /// written.
   std::size_t dump_csv(const std::string& path) const;
 
-  /// Parse a CSV previously written by dump_csv, so a recorded trace can be
-  /// replayed as a synthetic workload. Throws std::runtime_error on a
-  /// missing file, wrong header, or malformed row.
+  /// Parse a CSV previously written by dump_csv (either format), so a
+  /// recorded trace can be replayed as a synthetic workload. Throws
+  /// std::runtime_error on a missing file, wrong header, or malformed row.
   [[nodiscard]] static PacketTrace load_csv(const std::string& path);
 
  private:

@@ -1,0 +1,229 @@
+#include "place/placement.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "dnn/conv2d.h"
+#include "dnn/depthwise_conv2d.h"
+#include "dnn/linear.h"
+#include "dnn/residual.h"
+
+namespace nocbt::place {
+
+namespace {
+
+/// Unit-major weight stream of a layer: weights_per_unit-1 weight values
+/// followed by the unit's bias, for every output unit. The weight tensors
+/// are NCHW with the output dimension outermost, so each unit's slice is
+/// contiguous.
+std::vector<float> unit_major_weights(const dnn::Tensor& weight,
+                                      const dnn::Tensor& bias,
+                                      std::int32_t units,
+                                      std::int64_t values_per_unit) {
+  std::vector<float> out;
+  out.reserve(static_cast<std::size_t>(units) *
+              static_cast<std::size_t>(values_per_unit + 1));
+  const std::span<const float> w = weight.data();
+  for (std::int32_t u = 0; u < units; ++u) {
+    const auto begin = static_cast<std::size_t>(u) *
+                       static_cast<std::size_t>(values_per_unit);
+    out.insert(out.end(), w.begin() + static_cast<std::ptrdiff_t>(begin),
+               w.begin() + static_cast<std::ptrdiff_t>(begin) +
+                   static_cast<std::ptrdiff_t>(values_per_unit));
+    out.push_back(bias.at(u, 0, 0, 0));
+  }
+  return out;
+}
+
+class Walker {
+ public:
+  Walker(const noc::MeshShape& mesh, const accel::NodeRoles& roles,
+         const PlacementPolicy& policy, std::int32_t tiles_per_layer)
+      : policy_(policy),
+        tiles_per_layer_(tiles_per_layer),
+        nearest_(accel::nearest_mc_index(mesh, roles)) {
+    placement_.mesh = mesh;
+    placement_.roles = roles;
+  }
+
+  Placement run(const dnn::Sequential& model, dnn::Shape input) {
+    cur_ = input;
+    for (std::size_t i = 0; i < model.size(); ++i) visit(model.layer(i));
+    if (placement_.ops.empty())
+      throw std::invalid_argument("place_model: model has no weighted layers");
+    return std::move(placement_);
+  }
+
+ private:
+  void visit(const dnn::Layer& layer) {
+    switch (layer.kind()) {
+      case dnn::LayerKind::kConv2d:
+        visit_conv(static_cast<const dnn::Conv2d&>(layer));
+        break;
+      case dnn::LayerKind::kDepthwiseConv2d:
+        visit_depthwise(static_cast<const dnn::DepthwiseConv2d&>(layer));
+        break;
+      case dnn::LayerKind::kLinear:
+        visit_linear(static_cast<const dnn::Linear&>(layer));
+        break;
+      case dnn::LayerKind::kResidual:
+        visit_residual(static_cast<const dnn::Residual&>(layer));
+        break;
+      default:
+        // Activations, pooling, flatten: fused into the producer — they
+        // reshape the downstream consumption but create no traffic.
+        cur_ = layer.output_shape(cur_);
+        break;
+    }
+  }
+
+  void visit_conv(const dnn::Conv2d& conv) {
+    if (cur_.c != conv.in_channels())
+      throw std::invalid_argument("place_model: " + conv.name() +
+                                  " expects " +
+                                  std::to_string(conv.in_channels()) +
+                                  " channels, got " + cur_.to_string());
+    PlacedOp op;
+    op.name = conv.name();
+    op.kind = dnn::LayerKind::kConv2d;
+    op.units = conv.out_channels();
+    op.weights_per_unit =
+        static_cast<std::int64_t>(conv.in_channels()) * conv.kernel() *
+            conv.kernel() +
+        1;
+    op.in_shape = cur_;
+    op.out_shape = conv.output_shape(cur_);
+    op.inputs = {{producer_, false}};
+    op.weights = unit_major_weights(conv.weight(), conv.bias(), op.units,
+                                    op.weights_per_unit - 1);
+    producer_ = emit(std::move(op));
+    cur_ = placement_.ops.back().out_shape;
+  }
+
+  void visit_depthwise(const dnn::DepthwiseConv2d& conv) {
+    if (cur_.c != conv.channels())
+      throw std::invalid_argument("place_model: " + conv.name() +
+                                  " expects " +
+                                  std::to_string(conv.channels()) +
+                                  " channels, got " + cur_.to_string());
+    PlacedOp op;
+    op.name = conv.name();
+    op.kind = dnn::LayerKind::kDepthwiseConv2d;
+    op.units = conv.channels();
+    op.weights_per_unit =
+        static_cast<std::int64_t>(conv.kernel()) * conv.kernel() + 1;
+    op.in_shape = cur_;
+    op.out_shape = conv.output_shape(cur_);
+    op.inputs = {{producer_, false}};
+    op.weights = unit_major_weights(conv.weight(), conv.bias(), op.units,
+                                    op.weights_per_unit - 1);
+    producer_ = emit(std::move(op));
+    cur_ = placement_.ops.back().out_shape;
+  }
+
+  void visit_linear(const dnn::Linear& linear) {
+    if (cur_.numel() != linear.in_features())
+      throw std::invalid_argument(
+          "place_model: " + linear.name() + " expects " +
+          std::to_string(linear.in_features()) + " features, got " +
+          cur_.to_string());
+    PlacedOp op;
+    op.name = linear.name();
+    op.kind = dnn::LayerKind::kLinear;
+    op.units = linear.out_features();
+    op.weights_per_unit = static_cast<std::int64_t>(linear.in_features()) + 1;
+    op.in_shape = cur_;
+    op.out_shape = linear.output_shape(cur_);
+    op.inputs = {{producer_, false}};
+    op.weights = unit_major_weights(linear.weight(), linear.bias(), op.units,
+                                    op.weights_per_unit - 1);
+    producer_ = emit(std::move(op));
+    cur_ = placement_.ops.back().out_shape;
+  }
+
+  void visit_residual(const dnn::Residual& res) {
+    const dnn::Shape entry_shape = cur_;
+    const std::int32_t entry_producer = producer_;
+
+    // The projection (when present) consumes the block's entry activation,
+    // in parallel with the body — emit it first so body ops can reference
+    // it as an earlier op.
+    std::int32_t skip_producer = entry_producer;
+    if (res.projection() != nullptr) {
+      visit_conv(*res.projection());
+      skip_producer = producer_;
+      cur_ = entry_shape;
+      producer_ = entry_producer;
+    }
+
+    const std::size_t ops_before_body = placement_.ops.size();
+    for (std::size_t i = 0; i < res.body().size(); ++i)
+      visit(res.body().layer(i));
+    if (placement_.ops.size() == ops_before_body)
+      throw std::invalid_argument("place_model: residual body of " +
+                                  res.name() + " has no weighted layers");
+
+    // The body's last op computes the elementwise sum: it must also
+    // receive the shortcut activations for its output channels.
+    PlacedOp& last = placement_.ops[static_cast<std::size_t>(producer_)];
+    const std::int32_t skip_units =
+        skip_producer >= 0
+            ? placement_.ops[static_cast<std::size_t>(skip_producer)].units
+            : entry_shape.c;
+    if (skip_units != last.units)
+      throw std::invalid_argument(
+          "place_model: residual shortcut of " + res.name() + " carries " +
+          std::to_string(skip_units) + " channels but the body ends with " +
+          std::to_string(last.units));
+    last.inputs.push_back({skip_producer, true});
+
+    cur_ = res.output_shape(entry_shape);  // also validates the shapes
+  }
+
+  /// Tile the op's units, pick PEs via the policy, bind each tile to its
+  /// nearest MC, and append the op. Returns its index.
+  std::int32_t emit(PlacedOp op) {
+    const std::int32_t n_tiles = std::min(tiles_per_layer_, op.units);
+    const std::vector<std::int32_t> pes = policy_.assign(
+        placement_.mesh, placement_.roles, n_tiles, placement_.total_tiles);
+    op.tiles.reserve(static_cast<std::size_t>(n_tiles));
+    for (std::int32_t t = 0; t < n_tiles; ++t) {
+      TileAssignment tile;
+      tile.unit_begin = static_cast<std::int32_t>(
+          static_cast<std::int64_t>(t) * op.units / n_tiles);
+      tile.unit_end = static_cast<std::int32_t>(
+          static_cast<std::int64_t>(t + 1) * op.units / n_tiles);
+      tile.pe = pes[static_cast<std::size_t>(t)];
+      tile.mc = nearest_[static_cast<std::size_t>(tile.pe)];
+      op.tiles.push_back(tile);
+    }
+    placement_.total_tiles += n_tiles;
+    placement_.ops.push_back(std::move(op));
+    return static_cast<std::int32_t>(placement_.ops.size()) - 1;
+  }
+
+  const PlacementPolicy& policy_;
+  std::int32_t tiles_per_layer_;
+  std::vector<std::size_t> nearest_;
+  Placement placement_;
+  dnn::Shape cur_;
+  std::int32_t producer_ = -1;
+};
+
+}  // namespace
+
+Placement place_model(const dnn::Sequential& model, dnn::Shape input,
+                      const noc::MeshShape& mesh,
+                      const accel::NodeRoles& roles,
+                      const PlacementPolicy& policy,
+                      std::int32_t tiles_per_layer) {
+  if (input.n != 1)
+    throw std::invalid_argument("place_model: input must be per-sample (n=1)");
+  if (tiles_per_layer < 1)
+    throw std::invalid_argument("place_model: tiles_per_layer must be >= 1");
+  if (roles.pes.empty())
+    throw std::invalid_argument("place_model: mesh has no PE nodes");
+  return Walker(mesh, roles, policy, tiles_per_layer).run(model, input);
+}
+
+}  // namespace nocbt::place

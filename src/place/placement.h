@@ -1,0 +1,97 @@
+#pragma once
+// Layer placement: shard each weighted layer of a model across PE tiles of
+// the accel::NodeRoles mesh and record, per tile, which output units it
+// computes, which PE hosts it, and which memory controller feeds it.
+//
+// Tiling scheme (channel/row tiling): a weighted op's output units are its
+// output channels (conv/depthwise) or output features (linear). Units are
+// split into up to `tiles_per_layer` contiguous, near-even ranges; the
+// placement policy picks the PE for each range, and the tile's MC is the
+// controller nearest its PE (accel::nearest_mc_index). Weight slices per
+// unit are contiguous in the NCHW parameter tensors, so each tile's weight
+// stream is a real slice of the model's trained weights.
+//
+// Dataflow edges: non-weighted layers (activations, pooling, flatten) are
+// fused into the producing op — they reshape what the consumer receives
+// but create no traffic of their own. Residual blocks flatten to their
+// body's ops plus an optional projection op, with the skip connection
+// recorded as an extra *elementwise* input edge into the body's last op:
+// the tile computing the sum must receive the matching output channels of
+// the shortcut producer (partial-sum flow derivation; see DESIGN.md).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "accel/mapping.h"
+#include "dnn/sequential.h"
+#include "noc/routing.h"
+#include "place/policy.h"
+
+namespace nocbt::place {
+
+/// One dataflow edge into a placed op.
+struct OpInput {
+  /// Index of the producing op, or -1 for the model input (served by MCs).
+  std::int32_t producer = -1;
+  /// True for skip-connection edges consumed per *output* channel of the
+  /// receiving op (the elementwise residual sum); false for dense edges
+  /// consumed through the op's input shape.
+  bool elementwise = false;
+};
+
+/// One tile of one op: output units [unit_begin, unit_end) on PE `pe`,
+/// fed by roles.mcs[mc].
+struct TileAssignment {
+  std::int32_t unit_begin = 0;
+  std::int32_t unit_end = 0;
+  std::int32_t pe = -1;
+  std::size_t mc = 0;
+
+  [[nodiscard]] std::int32_t units() const noexcept {
+    return unit_end - unit_begin;
+  }
+};
+
+/// One weighted op of the flattened model.
+struct PlacedOp {
+  std::string name;
+  dnn::LayerKind kind = dnn::LayerKind::kConv2d;
+  std::int32_t units = 0;            ///< output channels / features
+  std::int64_t weights_per_unit = 0; ///< weight values + 1 bias per unit
+  dnn::Shape in_shape;               ///< activation shape the op consumes
+  dnn::Shape out_shape;              ///< activation shape the op produces
+  std::vector<OpInput> inputs;
+  /// Real model weights, unit-major: weights_per_unit values per unit with
+  /// the bias last — the slice [u*wpu, (u+1)*wpu) is unit u's task.
+  std::vector<float> weights;
+  std::vector<TileAssignment> tiles;
+
+  /// Depthwise ops consume input channel c only for output unit c, so
+  /// inter-layer activation flows slice by channel overlap.
+  [[nodiscard]] bool channelwise() const noexcept {
+    return kind == dnn::LayerKind::kDepthwiseConv2d;
+  }
+};
+
+/// A fully placed model on a mesh.
+struct Placement {
+  noc::MeshShape mesh{1, 1};
+  accel::NodeRoles roles;
+  std::vector<PlacedOp> ops;
+  std::int64_t total_tiles = 0;
+};
+
+/// Flatten `model` (fed with per-sample shape `input`, n == 1) into placed
+/// ops on `mesh`/`roles` under `policy`, with at most `tiles_per_layer`
+/// tiles per op (capped by the op's unit count). Throws
+/// std::invalid_argument on an unplaceable model (no weighted layers, a
+/// residual body without weights, shape mismatches).
+[[nodiscard]] Placement place_model(const dnn::Sequential& model,
+                                    dnn::Shape input,
+                                    const noc::MeshShape& mesh,
+                                    const accel::NodeRoles& roles,
+                                    const PlacementPolicy& policy,
+                                    std::int32_t tiles_per_layer);
+
+}  // namespace nocbt::place

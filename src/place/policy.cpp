@@ -1,0 +1,151 @@
+#include "place/policy.h"
+
+#include <algorithm>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+namespace nocbt::place {
+
+namespace {
+
+/// Shared wrap-around indexing over a policy-specific PE order.
+std::vector<std::int32_t> take_modular(const std::vector<std::int32_t>& order,
+                                       std::int32_t n_tiles,
+                                       std::int64_t tile_offset) {
+  if (order.empty())
+    throw std::invalid_argument("PlacementPolicy: mesh has no PE nodes");
+  if (n_tiles < 1)
+    throw std::invalid_argument("PlacementPolicy: n_tiles must be >= 1");
+  std::vector<std::int32_t> pes;
+  pes.reserve(static_cast<std::size_t>(n_tiles));
+  for (std::int32_t i = 0; i < n_tiles; ++i)
+    pes.push_back(order[static_cast<std::size_t>(
+        (tile_offset + i) % static_cast<std::int64_t>(order.size()))]);
+  return pes;
+}
+
+class RowMajorPolicy final : public PlacementPolicy {
+ public:
+  std::string_view name() const noexcept override { return "rowmajor"; }
+  std::string_view description() const noexcept override {
+    return "PEs in node-id order (row-major across the mesh)";
+  }
+  std::vector<std::int32_t> assign(const noc::MeshShape&,
+                                   const accel::NodeRoles& roles,
+                                   std::int32_t n_tiles,
+                                   std::int64_t tile_offset) const override {
+    return take_modular(roles.pes, n_tiles, tile_offset);
+  }
+};
+
+class SnakePolicy final : public PlacementPolicy {
+ public:
+  std::string_view name() const noexcept override { return "snake"; }
+  std::string_view description() const noexcept override {
+    return "serpentine rows: even rows west->east, odd rows east->west";
+  }
+  std::vector<std::int32_t> assign(const noc::MeshShape& shape,
+                                   const accel::NodeRoles& roles,
+                                   std::int32_t n_tiles,
+                                   std::int64_t tile_offset) const override {
+    std::vector<std::int32_t> order;
+    order.reserve(roles.pes.size());
+    for (std::int32_t y = 0; y < shape.rows(); ++y) {
+      for (std::int32_t i = 0; i < shape.cols(); ++i) {
+        const std::int32_t x = (y % 2 == 0) ? i : shape.cols() - 1 - i;
+        const std::int32_t node = shape.node_at(noc::Coord{x, y});
+        if (std::binary_search(roles.mcs.begin(), roles.mcs.end(), node))
+          continue;
+        order.push_back(node);
+      }
+    }
+    return take_modular(order, n_tiles, tile_offset);
+  }
+};
+
+class NearMcPolicy final : public PlacementPolicy {
+ public:
+  std::string_view name() const noexcept override { return "nearmc"; }
+  std::string_view description() const noexcept override {
+    return "PEs sorted by distance to their nearest MC (ties to node id)";
+  }
+  std::vector<std::int32_t> assign(const noc::MeshShape& shape,
+                                   const accel::NodeRoles& roles,
+                                   std::int32_t n_tiles,
+                                   std::int64_t tile_offset) const override {
+    std::vector<std::int32_t> order = roles.pes;
+    const std::vector<std::size_t> nearest =
+        accel::nearest_mc_index(shape, roles);
+    auto dist_to_mc = [&](std::int32_t pe) {
+      return shape.manhattan(pe, roles.mcs[nearest[static_cast<std::size_t>(pe)]]);
+    };
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::int32_t a, std::int32_t b) {
+                       return dist_to_mc(a) < dist_to_mc(b);
+                     });
+    return take_modular(order, n_tiles, tile_offset);
+  }
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<PlacementPolicy>> list;
+
+  Registry() {
+    list.push_back(std::make_unique<RowMajorPolicy>());
+    list.push_back(std::make_unique<SnakePolicy>());
+    list.push_back(std::make_unique<NearMcPolicy>());
+  }
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+}  // namespace
+
+const PlacementPolicy* find_policy(std::string_view name) {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  for (const auto& p : reg.list)
+    if (p->name() == name) return p.get();
+  return nullptr;
+}
+
+const PlacementPolicy& get_policy(std::string_view name) {
+  if (const PlacementPolicy* p = find_policy(name)) return *p;
+  std::string known;
+  for (const PlacementPolicy* p : registered_policies()) {
+    if (!known.empty()) known += ", ";
+    known += p->name();
+  }
+  throw std::invalid_argument("get_policy: unknown placement policy '" +
+                              std::string(name) + "' (registered: " + known +
+                              ")");
+}
+
+std::vector<const PlacementPolicy*> registered_policies() {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  std::vector<const PlacementPolicy*> out;
+  out.reserve(reg.list.size());
+  for (const auto& p : reg.list) out.push_back(p.get());
+  return out;
+}
+
+void register_policy(std::unique_ptr<PlacementPolicy> policy) {
+  if (!policy) throw std::invalid_argument("register_policy: null policy");
+  if (policy->name().empty())
+    throw std::invalid_argument("register_policy: empty policy name");
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  for (const auto& p : reg.list)
+    if (p->name() == policy->name())
+      throw std::invalid_argument("register_policy: duplicate name '" +
+                                  std::string(policy->name()) + "'");
+  reg.list.push_back(std::move(policy));
+}
+
+}  // namespace nocbt::place

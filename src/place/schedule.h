@@ -1,0 +1,82 @@
+#pragma once
+// Traffic derivation: turn a Placement into a timed packet schedule.
+//
+// Per op o (phase o), every tile receives (a) its weight slice — real
+// model weights, codec-encoded — plus any model-input activations from
+// its memory controller, and (b) the producer activations it consumes as
+// PE-to-PE flows: full producer-tile shares for dense edges, channel
+// overlaps for depthwise consumers and elementwise (residual skip) edges.
+// A final phase drains the last op's outputs back to the MCs. Flows whose
+// source and destination tile coincide stay on-PE and are only counted.
+//
+// Timing: phases are serialized (phase o+1 starts after every phase-o
+// packet has left its source); within a phase each source NI serializes
+// its own packets back to back (cycle advances by the packet's flit
+// count), which keeps single-source link schedules provably
+// congestion-free for the analytical engine on small placements.
+//
+// Payload pairing into half-half flits: transfers carrying both weights
+// and activations zip them pairwise with the shorter stream cycling
+// (weight retransmission across ifmap windows); single-stream transfers
+// split alternately across the two flit halves.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "accel/flitization.h"
+#include "accel/value_codec.h"
+#include "noc/trace.h"
+#include "place/placement.h"
+
+namespace nocbt::place {
+
+/// How a placement's flows become flits and wire patterns.
+struct TrafficConfig {
+  /// (weight, input) pairs per packet — the ordering window, in pairs.
+  std::uint32_t pairs_per_packet = 64;
+  accel::FlitLayout layout{};
+  /// Encoder for the model's real weight values.
+  accel::ValueCodec weight_codec = accel::ValueCodec::float32();
+  /// Wire-pattern source for activation values (drawn in schedule order;
+  /// must be deterministic for reproducible schedules).
+  std::function<std::uint32_t()> draw_activation;
+  /// Extra idle cycles between phases.
+  std::uint64_t phase_gap = 0;
+};
+
+/// One schedulable packet: inject at `cycle` carrying pre-ordering
+/// (weight, input) pattern pairs — the same contract as the campaign
+/// runner's InjectionRequest.
+struct FlowPacket {
+  std::uint64_t cycle = 0;
+  std::int32_t src = -1;
+  std::int32_t dst = -1;
+  std::vector<std::uint32_t> weights;
+  std::vector<std::uint32_t> inputs;
+};
+
+/// A derived schedule plus traffic accounting.
+struct PlacedSchedule {
+  std::vector<FlowPacket> packets;  ///< non-decreasing cycles
+  std::uint64_t phases = 0;
+  std::uint64_t mc_to_pe_values = 0;  ///< weight + ifmap values from MCs
+  std::uint64_t pe_to_pe_values = 0;  ///< inter-layer activation values
+  std::uint64_t pe_to_mc_values = 0;  ///< result values drained to MCs
+  std::uint64_t local_values = 0;     ///< values that never left their PE
+};
+
+/// Derive the packet schedule for `placement`. Throws
+/// std::invalid_argument when config.draw_activation is empty or the
+/// layout cannot hold a pair.
+[[nodiscard]] PlacedSchedule build_schedule(const Placement& placement,
+                                            const TrafficConfig& config);
+
+/// Render a schedule as a payload-carrying PacketTrace (zero-load timing:
+/// eject = inject + hops + flits). Dump + replay of this trace reproduces
+/// the schedule's per-link bit transitions exactly.
+[[nodiscard]] noc::PacketTrace to_trace(const PlacedSchedule& schedule,
+                                        const accel::FlitLayout& layout,
+                                        const noc::MeshShape& mesh);
+
+}  // namespace nocbt::place

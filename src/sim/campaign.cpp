@@ -3,9 +3,12 @@
 #include <atomic>
 #include <cctype>
 #include <fstream>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 
 #include "accel/accel_config.h"
@@ -72,6 +75,106 @@ std::vector<BitVec> build_payloads(const InjectionRequest& req,
   return accel::pack_half_half(inputs, weights, std::nullopt, layout);
 }
 
+/// A generator's fully-materialized injection schedule: the pre-ordering
+/// traffic every variant of a scenario (baseline, ordered, analytical or
+/// cycle) replays. Immutable once built, so workers share it freely.
+using Schedule = std::vector<InjectionRequest>;
+using SchedulePtr = std::shared_ptr<const Schedule>;
+
+SchedulePtr materialize_schedule(const ScenarioSpec& spec) {
+  auto gen = make_generator(spec);
+  auto schedule = std::make_shared<Schedule>();
+  while (auto req = gen->next()) schedule->push_back(std::move(*req));
+  return schedule;
+}
+
+/// Fingerprint of every spec field the synthetic generators read. Mode,
+/// engine and name are deliberately absent: scenarios differing only in
+/// those produce byte-identical schedules and share one materialization.
+std::string schedule_key(const ScenarioSpec& spec) {
+  std::string key = to_string(spec.generator);
+  const auto add = [&key](const std::string& s) {
+    key += '|';
+    key += s;
+  };
+  add(std::to_string(spec.rows));
+  add(std::to_string(spec.cols));
+  add(to_string(spec.format));
+  add(std::to_string(spec.fixed_bits));
+  add(std::to_string(spec.values_per_flit));
+  add(std::to_string(spec.window));
+  add(std::to_string(spec.packets));
+  add(std::to_string(spec.injection_rate));
+  add(to_string(spec.value_dist));
+  add(std::to_string(spec.dist_a));
+  add(std::to_string(spec.dist_b));
+  add(std::to_string(spec.hotspot_fraction));
+  add(std::to_string(spec.hotspot_node));
+  add(std::to_string(spec.burst_len));
+  add(std::to_string(spec.burst_gap));
+  add(spec.trace_path);
+  add(std::to_string(spec.num_mcs));
+  add(std::to_string(spec.model_seed));
+  add(spec.model);
+  add(spec.placement);
+  add(std::to_string(spec.tiles_per_layer));
+  add(std::to_string(spec.seed));
+  return key;
+}
+
+/// Campaign-scoped schedule store: grid points that share every
+/// payload-relevant knob (all mode rows of one traffic stream — expand()
+/// derives their seeds mode-independently) generate their schedule once.
+/// Thread-safe; the first worker to request a key materializes it while
+/// later workers block on the shared future. Entries are dropped after
+/// `uses_per_key` lookups (one per mode row) to bound campaign memory.
+class ScheduleCache {
+ public:
+  explicit ScheduleCache(std::size_t uses_per_key)
+      : uses_per_key_(uses_per_key < 1 ? 1 : uses_per_key) {}
+
+  SchedulePtr get(const ScenarioSpec& spec) {
+    const std::string key = schedule_key(spec);
+    std::promise<SchedulePtr> mine;
+    std::shared_future<SchedulePtr> fut;
+    bool owner = false;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = entries_.find(key);
+      if (it == entries_.end()) {
+        owner = true;
+        fut = mine.get_future().share();
+        entries_.emplace(key, Entry{fut, uses_per_key_});
+      } else {
+        fut = it->second.future;
+      }
+    }
+    if (owner) {
+      try {
+        mine.set_value(materialize_schedule(spec));
+      } catch (...) {
+        mine.set_exception(std::current_exception());
+      }
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = entries_.find(key);
+      if (it != entries_.end() && --it->second.remaining == 0)
+        entries_.erase(it);  // shared_future keeps the state alive
+    }
+    return fut.get();  // rethrows a materialization failure to every sharer
+  }
+
+ private:
+  struct Entry {
+    std::shared_future<SchedulePtr> future;
+    std::size_t remaining = 0;
+  };
+  std::size_t uses_per_key_;
+  std::mutex mutex_;
+  std::unordered_map<std::string, Entry> entries_;
+};
+
 /// Everything one network run yields.
 struct VariantOutcome {
   std::uint64_t bt = 0;
@@ -93,7 +196,8 @@ struct VariantOutcome {
 /// skips copying every link counter of a large mesh.
 VariantOutcome run_traffic_variant(const ScenarioSpec& spec,
                                    ordering::OrderingMode mode,
-                                   bool want_links) {
+                                   bool want_links,
+                                   const Schedule& schedule) {
   const noc::WallTimer timer;
   noc::Network net(spec.noc_config());
   const std::int32_t nodes = spec.rows * spec.cols;
@@ -101,8 +205,9 @@ VariantOutcome run_traffic_variant(const ScenarioSpec& spec,
     net.set_sink(node, nullptr);  // stats-only sink
 
   const accel::FlitLayout layout{spec.values_per_flit, value_bits(spec.format)};
-  auto gen = make_generator(spec);
-  auto pending = gen->next();
+  std::size_t next_req = 0;
+  const auto* pending = next_req < schedule.size() ? &schedule[next_req]
+                                                   : nullptr;
 
   VariantOutcome out;
   // The stall guard counts *active* steps, not the absolute clock: idle
@@ -121,7 +226,8 @@ VariantOutcome run_traffic_variant(const ScenarioSpec& spec,
     while (pending && pending->cycle <= net.cycle()) {
       net.inject(pending->src, pending->dst,
                  build_payloads(*pending, spec.format, layout, mode));
-      pending = gen->next();
+      ++next_req;
+      pending = next_req < schedule.size() ? &schedule[next_req] : nullptr;
     }
     net.step();
     ++active_steps;
@@ -178,19 +284,18 @@ VariantOutcome run_model_variant(const ScenarioSpec& spec,
 /// Evaluate a synthetic schedule through the zero-load analytical backend.
 /// Returns true when the result is exact (schedule proven congestion-free)
 /// with `out` filled; false when the schedule is contended or the config
-/// unsupported, with `why_not` explaining — the caller then regenerates
-/// the identical schedule (generators are deterministic in the spec) on a
-/// cycle engine.
+/// unsupported, with `why_not` explaining — the caller then replays the
+/// same materialized schedule on a cycle engine.
 bool run_analytical_variant(const ScenarioSpec& spec,
                             ordering::OrderingMode mode, bool want_links,
-                            VariantOutcome& out, std::string& why_not) {
+                            const Schedule& schedule, VariantOutcome& out,
+                            std::string& why_not) {
   const noc::WallTimer timer;
   noc::AnalyticalEngine eng(spec.noc_config());
   const accel::FlitLayout layout{spec.values_per_flit, value_bits(spec.format)};
-  auto gen = make_generator(spec);
-  while (auto pending = gen->next())
-    eng.inject(pending->cycle, pending->src, pending->dst,
-               build_payloads(*pending, spec.format, layout, mode));
+  for (const InjectionRequest& req : schedule)
+    eng.inject(req.cycle, req.src, req.dst,
+               build_payloads(req, spec.format, layout, mode));
   if (!eng.run()) {
     why_not = eng.contention_detail();
     return false;
@@ -213,14 +318,17 @@ bool run_analytical_variant(const ScenarioSpec& spec,
 
 VariantOutcome run_variant(const ScenarioSpec& spec,
                            ordering::OrderingMode mode,
-                           const ModelHooks& hooks, bool want_links) {
+                           const ModelHooks& hooks, bool want_links,
+                           const Schedule* schedule) {
   // Model workloads inject reactively and always need a cycle engine
-  // (validate() rejects forcing analytical on them).
+  // (validate() rejects forcing analytical on them); every other workload
+  // replays the caller's materialized schedule.
   if (spec.generator != GeneratorKind::kModel &&
       (spec.engine_auto || spec.engine == noc::SimEngine::kAnalytical)) {
     VariantOutcome out;
     std::string why_not;
-    if (run_analytical_variant(spec, mode, want_links, out, why_not))
+    if (run_analytical_variant(spec, mode, want_links, *schedule, out,
+                               why_not))
       return out;
     if (!spec.engine_auto)
       throw std::runtime_error(
@@ -234,7 +342,67 @@ VariantOutcome run_variant(const ScenarioSpec& spec,
     cyc.engine = noc::SimEngine::kActiveSet;
   return cyc.generator == GeneratorKind::kModel
              ? run_model_variant(cyc, mode, hooks, want_links)
-             : run_traffic_variant(cyc, mode, want_links);
+             : run_traffic_variant(cyc, mode, want_links, *schedule);
+}
+
+/// run_scenario with an optional campaign-scoped schedule cache.
+ScenarioResult run_scenario_impl(const ScenarioSpec& spec,
+                                 const ModelHooks& hooks,
+                                 ScheduleCache* cache) {
+  ScenarioResult result;
+  result.spec = spec;
+  try {
+    spec.validate();
+    // Materialize the pre-ordering schedule once: both variants (and the
+    // analytical attempt plus its cycle-engine fallback) replay the same
+    // request list, and with a cache every mode row of this traffic stream
+    // shares it too.
+    SchedulePtr schedule;
+    if (spec.generator != GeneratorKind::kModel)
+      schedule = cache ? cache->get(spec) : materialize_schedule(spec);
+    // Per-link rows come from the ordered run only, so the baseline
+    // variant skips the snapshot — unless it *is* the ordered run.
+    const bool baseline_is_ordered =
+        spec.mode == ordering::OrderingMode::kBaseline;
+    const VariantOutcome baseline =
+        run_variant(spec, ordering::OrderingMode::kBaseline, hooks,
+                    baseline_is_ordered, schedule.get());
+    const VariantOutcome ordered =
+        baseline_is_ordered
+            ? baseline
+            : run_variant(spec, spec.mode, hooks, true, schedule.get());
+    result.bt_baseline = baseline.bt;
+    result.bt_ordered = ordered.bt;
+    result.reduction =
+        baseline.bt > 0 ? 1.0 - static_cast<double>(ordered.bt) /
+                                    static_cast<double>(baseline.bt)
+                        : 0.0;
+    const hw::EnergyModel energy(hw::EnergyModelConfig{
+        spec.energy_per_transition_pj, spec.frequency_mhz});
+    result.energy_baseline_pj = energy.energy_pj(baseline.bt);
+    result.energy_pj = energy.energy_pj(ordered.bt);
+    result.power_baseline_mw = energy.power_mw(baseline.bt, baseline.cycles);
+    result.power_mw = energy.power_mw(ordered.bt, ordered.cycles);
+    result.links = energy.annotate(ordered.links);
+    result.cycles = ordered.cycles;
+    result.packets = ordered.packets;
+    result.flits = ordered.flits;
+    result.peak_backlog = ordered.peak_backlog;
+    result.avg_latency = ordered.avg_latency;
+    result.avg_hops = ordered.avg_hops;
+    result.drained = baseline.drained && ordered.drained;
+    result.sim = ordered.sim;
+    result.wall_ms_baseline = baseline.wall_ms;
+    result.wall_ms_ordered = ordered.wall_ms;
+    if (!result.drained)
+      result.error = "scenario '" + spec.name +
+                     "' hit the max_cycles stall guard (" +
+                     std::to_string(spec.max_cycles) +
+                     " active cycles) before draining";
+  } catch (const std::exception& e) {
+    result.error = e.what();
+  }
+  return result;
 }
 
 }  // namespace
@@ -288,26 +456,35 @@ std::string scenario_name(GeneratorKind generator, DataFormat format,
 
 std::vector<ScenarioSpec> CampaignSpec::expand() const {
   std::vector<ScenarioSpec> out;
-  std::uint64_t index = 0;
-  for (const GeneratorKind gen : generators)
-    for (const DataFormat fmt : formats)
+  // Seeds are derived from the scenario's *mode-independent* grid position
+  // (its traffic stream): every mode row of one (generator, format, mesh,
+  // window, replicate) point injects the byte-identical pre-ordering
+  // schedule, so mode deltas measure the ordering alone — and the runner's
+  // schedule cache materializes each stream once per campaign.
+  for (std::size_t gi = 0; gi < generators.size(); ++gi)
+    for (std::size_t fi = 0; fi < formats.size(); ++fi)
       for (const ordering::OrderingMode mode : modes)
-        for (const MeshSpec& mesh : meshes)
-          for (const std::uint32_t window : windows)
+        for (std::size_t mi = 0; mi < meshes.size(); ++mi)
+          for (std::size_t wi = 0; wi < windows.size(); ++wi)
             for (std::uint32_t rep = 0; rep < replicates; ++rep) {
+              const MeshSpec& mesh = meshes[mi];
+              const std::uint64_t stream =
+                  ((gi * formats.size() + fi) * meshes.size() + mi) *
+                      windows.size() * replicates +
+                  wi * replicates + rep;
               ScenarioSpec spec = base;
-              spec.generator = gen;
-              spec.format = fmt;
+              spec.generator = generators[gi];
+              spec.format = formats[fi];
               spec.mode = mode;
               spec.rows = mesh.rows;
               spec.cols = mesh.cols;
               spec.num_mcs = mesh.mcs;
-              spec.window = window;
-              spec.seed = derive_seed(root_seed, index);
-              spec.name = scenario_name(gen, fmt, mode, mesh, window);
+              spec.window = windows[wi];
+              spec.seed = derive_seed(root_seed, stream);
+              spec.name = scenario_name(generators[gi], formats[fi], mode,
+                                        mesh, windows[wi]);
               if (replicates > 1) spec.name += "/r" + std::to_string(rep);
               out.push_back(std::move(spec));
-              ++index;
             }
   return out;
 }
@@ -330,51 +507,7 @@ bool operator==(const ScenarioResult& a, const ScenarioResult& b) {
 }
 
 ScenarioResult run_scenario(const ScenarioSpec& spec, const ModelHooks& hooks) {
-  ScenarioResult result;
-  result.spec = spec;
-  try {
-    spec.validate();
-    // Per-link rows come from the ordered run only, so the baseline
-    // variant skips the snapshot — unless it *is* the ordered run.
-    const bool baseline_is_ordered =
-        spec.mode == ordering::OrderingMode::kBaseline;
-    const VariantOutcome baseline = run_variant(
-        spec, ordering::OrderingMode::kBaseline, hooks, baseline_is_ordered);
-    const VariantOutcome ordered =
-        baseline_is_ordered ? baseline
-                            : run_variant(spec, spec.mode, hooks, true);
-    result.bt_baseline = baseline.bt;
-    result.bt_ordered = ordered.bt;
-    result.reduction =
-        baseline.bt > 0 ? 1.0 - static_cast<double>(ordered.bt) /
-                                    static_cast<double>(baseline.bt)
-                        : 0.0;
-    const hw::EnergyModel energy(hw::EnergyModelConfig{
-        spec.energy_per_transition_pj, spec.frequency_mhz});
-    result.energy_baseline_pj = energy.energy_pj(baseline.bt);
-    result.energy_pj = energy.energy_pj(ordered.bt);
-    result.power_baseline_mw = energy.power_mw(baseline.bt, baseline.cycles);
-    result.power_mw = energy.power_mw(ordered.bt, ordered.cycles);
-    result.links = energy.annotate(ordered.links);
-    result.cycles = ordered.cycles;
-    result.packets = ordered.packets;
-    result.flits = ordered.flits;
-    result.peak_backlog = ordered.peak_backlog;
-    result.avg_latency = ordered.avg_latency;
-    result.avg_hops = ordered.avg_hops;
-    result.drained = baseline.drained && ordered.drained;
-    result.sim = ordered.sim;
-    result.wall_ms_baseline = baseline.wall_ms;
-    result.wall_ms_ordered = ordered.wall_ms;
-    if (!result.drained)
-      result.error = "scenario '" + spec.name +
-                     "' hit the max_cycles stall guard (" +
-                     std::to_string(spec.max_cycles) +
-                     " active cycles) before draining";
-  } catch (const std::exception& e) {
-    result.error = e.what();
-  }
-  return result;
+  return run_scenario_impl(spec, hooks, nullptr);
 }
 
 CampaignResult run_campaign(const CampaignSpec& spec,
@@ -383,6 +516,9 @@ CampaignResult run_campaign(const CampaignSpec& spec,
   CampaignResult result;
   result.rows.resize(scenarios.size());
 
+  // One schedule per traffic stream: the mode rows of a grid point share
+  // their materialized generator output (expand() gives them one seed).
+  ScheduleCache cache(spec.modes.size());
   std::atomic<std::size_t> next{0};
   std::size_t done = 0;  // guarded by report_mutex
   std::mutex report_mutex;
@@ -390,7 +526,7 @@ CampaignResult run_campaign(const CampaignSpec& spec,
     for (;;) {
       const std::size_t i = next.fetch_add(1);
       if (i >= scenarios.size()) return;
-      result.rows[i] = run_scenario(scenarios[i], spec.hooks);
+      result.rows[i] = run_scenario_impl(scenarios[i], spec.hooks, &cache);
       if (runner.on_result) {
         // done is incremented under the same lock as the callback so the
         // reported counts never regress.

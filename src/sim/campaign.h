@@ -7,17 +7,17 @@
 //   generators x formats x modes x meshes x windows x replicates
 // over a base ScenarioSpec that supplies every non-grid knob. Each expanded
 // scenario gets a deterministic seed derived from the campaign root seed
-// and its position in the grid, so results are bit-identical regardless of
-// how many worker threads execute the sweep — each worker owns a private
-// noc::Network and scenarios never share mutable state.
+// and its *mode-independent* grid position (its traffic stream), so every
+// ordering-mode row of one grid point injects the byte-identical
+// pre-ordering schedule and mode deltas measure the ordering alone.
+// Results are bit-identical regardless of how many worker threads execute
+// the sweep — each worker owns a private noc::Network and the only shared
+// state is an immutable per-stream schedule, generated once per campaign
+// and reused across the stream's mode rows.
 //
 // Every scenario is measured twice through identical injection schedules:
 // once with O0 (baseline) payload ordering and once with the scenario's
-// ordering mode, yielding the BT reduction the paper reports. The baseline
-// is deliberately re-measured inside each scenario rather than cached
-// across mode rows of a grid point: scenarios stay self-contained (no
-// cross-worker coupling), which is what makes an N-thread sweep
-// byte-identical to a serial one. Model
+// ordering mode, yielding the BT reduction the paper reports. Model
 // scenarios run full inferences through NocDnaPlatform instead, which is
 // how bench/fig12_noc_sizes reproduces its paper figure through this
 // engine.

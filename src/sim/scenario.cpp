@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "dnn/zoo.h"
+#include "place/policy.h"
+
 namespace nocbt::sim {
 
 std::string to_string(GeneratorKind kind) {
@@ -13,6 +16,7 @@ std::string to_string(GeneratorKind kind) {
     case GeneratorKind::kBurst: return "burst";
     case GeneratorKind::kReplay: return "replay";
     case GeneratorKind::kModel: return "model";
+    case GeneratorKind::kPlacement: return "placement";
   }
   return "?";
 }
@@ -26,10 +30,11 @@ GeneratorKind parse_generator_kind(const std::string& s) {
   if (s == "burst") return GeneratorKind::kBurst;
   if (s == "replay") return GeneratorKind::kReplay;
   if (s == "model" || s == "lenet") return GeneratorKind::kModel;
+  if (s == "placement" || s == "placed") return GeneratorKind::kPlacement;
   throw std::invalid_argument(
       "parse_generator_kind: unknown generator '" + s +
       "' (want uniform | transpose | bitcomp | hotspot | burst | replay | "
-      "model)");
+      "model | placement)");
 }
 
 std::string to_string(ValueDist dist) {
@@ -153,6 +158,16 @@ void ScenarioSpec::validate() const {
     throw std::invalid_argument("ScenarioSpec: burst_len must be >= 1");
   if (generator == GeneratorKind::kReplay && trace_path.empty())
     throw std::invalid_argument("ScenarioSpec: replay needs trace_path");
+  if (generator == GeneratorKind::kPlacement) {
+    if (num_mcs < 1 || num_mcs >= rows * cols)
+      throw std::invalid_argument(
+          "ScenarioSpec: bad MC count for placement workload");
+    if (tiles_per_layer < 1)
+      throw std::invalid_argument(
+          "ScenarioSpec: tiles_per_layer must be >= 1");
+    (void)dnn::zoo_model_spec(model);    // throws listing the zoo names
+    (void)place::get_policy(placement);  // throws listing the policies
+  }
 }
 
 }  // namespace nocbt::sim

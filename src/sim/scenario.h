@@ -25,6 +25,7 @@ enum class GeneratorKind : std::uint8_t {
   kBurst,          ///< on/off bursts of uniform-random traffic
   kReplay,         ///< re-inject a recorded PacketTrace CSV
   kModel,          ///< full DNN inference through NocDnaPlatform
+  kPlacement,      ///< placed model-zoo schedule (src/place traffic)
 };
 
 [[nodiscard]] std::string to_string(GeneratorKind kind);
@@ -93,9 +94,13 @@ struct ScenarioSpec {
 
   std::string trace_path;          ///< kReplay: CSV from PacketTrace::dump_csv
 
-  std::int32_t num_mcs = 2;        ///< kModel: memory controllers
-  std::uint64_t model_seed = 42;   ///< kModel: model factory seed
+  std::int32_t num_mcs = 2;        ///< kModel/kPlacement: memory controllers
+  std::uint64_t model_seed = 42;   ///< kModel/kPlacement: model factory seed
   std::uint64_t input_seed = 7;    ///< kModel: input factory seed
+
+  std::string model = "lenet";       ///< kPlacement: zoo model name
+  std::string placement = "rowmajor";  ///< kPlacement: placement policy
+  std::int32_t tiles_per_layer = 4;  ///< kPlacement: PE tiles per layer
 
   /// Link-energy reporting (§V-C units). The defaults are the paper's
   /// Innovus-extracted point at its 125 MHz link clock; 0.532 selects

@@ -5,7 +5,13 @@
 #include <stdexcept>
 #include <utility>
 
+#include "accel/flitization.h"
+#include "accel/mapping.h"
+#include "dnn/models.h"
+#include "dnn/zoo.h"
 #include "noc/trace.h"
+#include "place/placement.h"
+#include "place/schedule.h"
 
 namespace nocbt::sim {
 
@@ -162,9 +168,11 @@ class BurstGenerator final : public SyntheticGenerator {
 };
 
 /// Re-injects a recorded PacketTrace: each event becomes one packet at its
-/// original inject_cycle with its original src/dst and flit count. Payload
-/// values are synthesized from the scenario's value distribution (traces
-/// record timing and geometry, not payload bits).
+/// original inject_cycle with its original src/dst and flit count. Events
+/// that carry recorded payload words (a trace dumped by record_schedule)
+/// re-inject them verbatim — bit-exact replay; legacy traces without
+/// payload columns get values synthesized from the scenario's value
+/// distribution instead.
 class ReplayGenerator final : public TrafficGenerator {
  public:
   explicit ReplayGenerator(const ScenarioSpec& spec)
@@ -185,16 +193,34 @@ class ReplayGenerator final : public TrafficGenerator {
       if (e.num_flits < 1)
         throw std::invalid_argument("ReplayGenerator: zero-flit packet " +
                                     std::to_string(e.packet_id));
+      if (e.has_payload()) {
+        // Recorded pairs must still fill exactly num_flits flits under this
+        // scenario's layout, or the replayed timing would diverge from the
+        // recorded one.
+        const auto pairs = static_cast<std::uint32_t>(e.weights.size());
+        const std::uint32_t half = spec.values_per_flit / 2;
+        if ((pairs + half - 1) / half != e.num_flits)
+          throw std::invalid_argument(
+              "ReplayGenerator: packet " + std::to_string(e.packet_id) +
+              " records " + std::to_string(pairs) + " pairs but " +
+              std::to_string(e.num_flits) + " flits — trace was dumped " +
+              "under a different values_per_flit");
+      }
     }
   }
 
   std::optional<InjectionRequest> next() override {
     if (cursor_ >= events_.size()) return std::nullopt;
-    const noc::TraceEvent& e = events_[cursor_++];
+    noc::TraceEvent& e = events_[cursor_++];
     InjectionRequest req;
     req.cycle = e.inject_cycle;
     req.src = e.src;
     req.dst = e.dst;
+    if (e.has_payload()) {
+      req.weights = std::move(e.weights);
+      req.inputs = std::move(e.inputs);
+      return req;
+    }
     // Exactly num_flits flits: half-half packing with no bias makes
     // flits_needed(pairs) == ceil(pairs / half) == num_flits.
     const std::size_t pairs =
@@ -211,6 +237,61 @@ class ReplayGenerator final : public TrafficGenerator {
   Rng rng_;
   ValueSource values_;
   std::vector<noc::TraceEvent> events_;
+  std::size_t cursor_ = 0;
+};
+
+/// Placed model-zoo workload: builds the scenario's zoo model (model_seed),
+/// shards its weighted layers across PE tiles (src/place, spec.placement
+/// policy, spec.tiles_per_layer), and injects the derived MC->PE
+/// weight/ifmap and PE->PE partial-sum schedule. Weight payloads are the
+/// model's real trained-like weights; activation payloads come from the
+/// scenario's value distribution (spec.seed).
+class PlacementGenerator final : public TrafficGenerator {
+ public:
+  explicit PlacementGenerator(const ScenarioSpec& spec)
+      : rng_(spec.seed), values_(spec) {
+    Rng model_rng(spec.model_seed);
+    dnn::Sequential model = dnn::build_zoo_model(spec.model, model_rng);
+    Rng fill_rng(spec.model_seed + 1);
+    dnn::fill_weights_trained_like(model, fill_rng);
+
+    const noc::MeshShape mesh(spec.rows, spec.cols);
+    const accel::NodeRoles roles = accel::assign_roles(mesh, spec.num_mcs);
+    const place::Placement placed = place::place_model(
+        model, dnn::zoo_model_spec(spec.model).input, mesh, roles,
+        place::get_policy(spec.placement), spec.tiles_per_layer);
+
+    place::TrafficConfig traffic;
+    traffic.pairs_per_packet = spec.window;
+    traffic.layout =
+        accel::FlitLayout{spec.values_per_flit, value_bits(spec.format)};
+    traffic.weight_codec =
+        spec.format == DataFormat::kFixed8
+            ? accel::ValueCodec::fixed_calibrated(spec.fixed_bits,
+                                                  model.weight_values())
+            : accel::ValueCodec::float32();
+    traffic.draw_activation = [this] { return values_.draw_pattern(rng_); };
+    schedule_ = place::build_schedule(placed, traffic);
+  }
+
+  std::optional<InjectionRequest> next() override {
+    if (cursor_ >= schedule_.packets.size()) return std::nullopt;
+    place::FlowPacket& pkt = schedule_.packets[cursor_++];
+    InjectionRequest req;
+    req.cycle = pkt.cycle;
+    req.src = pkt.src;
+    req.dst = pkt.dst;
+    req.weights = std::move(pkt.weights);
+    req.inputs = std::move(pkt.inputs);
+    return req;
+  }
+
+  [[nodiscard]] std::string name() const override { return "placement"; }
+
+ private:
+  Rng rng_;
+  ValueSource values_;
+  place::PlacedSchedule schedule_;
   std::size_t cursor_ = 0;
 };
 
@@ -281,6 +362,8 @@ std::unique_ptr<TrafficGenerator> make_generator(const ScenarioSpec& spec) {
       return std::make_unique<BurstGenerator>(spec);
     case GeneratorKind::kReplay:
       return std::make_unique<ReplayGenerator>(spec);
+    case GeneratorKind::kPlacement:
+      return std::make_unique<PlacementGenerator>(spec);
     case GeneratorKind::kModel:
       break;
   }
@@ -288,6 +371,31 @@ std::unique_ptr<TrafficGenerator> make_generator(const ScenarioSpec& spec) {
       "make_generator: '" + to_string(spec.generator) +
       "' is not a synthetic generator (model workloads run through "
       "NocDnaPlatform in the campaign runner)");
+}
+
+noc::PacketTrace record_schedule(const ScenarioSpec& spec) {
+  const std::unique_ptr<TrafficGenerator> gen = make_generator(spec);
+  const accel::FlitLayout layout{spec.values_per_flit,
+                                 value_bits(spec.format)};
+  const noc::MeshShape mesh(spec.rows, spec.cols);
+  noc::PacketTrace trace;
+  std::uint64_t id = 0;
+  while (auto req = gen->next()) {
+    noc::TraceEvent e;
+    e.packet_id = id++;
+    e.src = req->src;
+    e.dst = req->dst;
+    e.num_flits = accel::flits_needed(
+        static_cast<std::uint32_t>(req->weights.size()), /*has_bias=*/false,
+        layout);
+    e.inject_cycle = req->cycle;
+    e.hops = static_cast<std::uint16_t>(mesh.manhattan(req->src, req->dst));
+    e.eject_cycle = req->cycle + e.hops + e.num_flits;
+    e.weights = std::move(req->weights);
+    e.inputs = std::move(req->inputs);
+    trace.record(e);
+  }
+  return trace;
 }
 
 }  // namespace nocbt::sim

@@ -24,6 +24,7 @@
 
 #include "accel/value_codec.h"
 #include "common/rng.h"
+#include "noc/trace.h"
 #include "sim/scenario.h"
 
 namespace nocbt::sim {
@@ -70,5 +71,13 @@ class ValueSource {
 /// non-square mesh, replay without a trace file).
 [[nodiscard]] std::unique_ptr<TrafficGenerator> make_generator(
     const ScenarioSpec& spec);
+
+/// Drain the spec's generator into a payload-carrying PacketTrace: one
+/// event per request, with the pre-ordering (weight, input) wire patterns
+/// recorded verbatim. Replaying the dumped trace under the same mesh,
+/// format and window reproduces the schedule bit-exactly (the replay
+/// generator re-injects recorded payloads), so a replayed campaign matches
+/// the directly-generated one byte for byte.
+[[nodiscard]] noc::PacketTrace record_schedule(const ScenarioSpec& spec);
 
 }  // namespace nocbt::sim

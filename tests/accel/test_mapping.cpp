@@ -71,5 +71,51 @@ TEST(Mapping, RejectsBadCounts) {
                std::invalid_argument);
 }
 
+
+TEST(Mapping, NearestMcTieBreaksWestOnChainMesh) {
+  // 1x5 chain with an MC at each end (west node 0, east node 4): the exact
+  // middle node is equidistant from both and must resolve to the lower MC
+  // index — the west controller (memory_controller_nodes lists west-edge
+  // controllers first).
+  const noc::MeshShape shape(1, 5);
+  const NodeRoles roles = assign_roles(shape, 2);
+  ASSERT_EQ(roles.mcs, (std::vector<std::int32_t>{0, 4}));
+  const auto nearest = nearest_mc_index(shape, roles);
+  EXPECT_EQ(nearest[2], 0u);  // 2 hops to either end: tie -> west
+  EXPECT_EQ(nearest[1], 0u);  // strictly closer to the west MC
+  EXPECT_EQ(nearest[3], 1u);  // strictly closer to the east MC
+  EXPECT_EQ(nearest[0], 0u);  // an MC is its own nearest controller
+  EXPECT_EQ(nearest[4], 1u);
+}
+
+TEST(Mapping, NearestMcTieBreaksWestOnTwoRowMesh) {
+  // 2x5 with one MC per edge: both land on row 1 (floor((0 + 0.5) * 2 / 1)),
+  // west node 5 and east node 9. Center-column nodes are equidistant from
+  // the two controllers on both rows; ties go to the lower MC index (west).
+  const noc::MeshShape shape(2, 5);
+  const NodeRoles roles = assign_roles(shape, 2);
+  ASSERT_EQ(roles.mcs, (std::vector<std::int32_t>{5, 9}));
+  const auto nearest = nearest_mc_index(shape, roles);
+  EXPECT_EQ(nearest[2], 0u);  // row 0 center: 3-hop tie -> west
+  EXPECT_EQ(nearest[7], 0u);  // row 1 center: 2-hop tie -> west
+  EXPECT_EQ(nearest[3], 1u);  // strictly closer to the east MC
+  EXPECT_EQ(nearest[8], 1u);
+}
+
+TEST(Mapping, NearestMcSameEdgeTieBreaksLowerRow) {
+  // 4x2 with 4 MCs: each edge gets controllers at rows 1 and 3, so
+  // roles.mcs = {2, 3, 6, 7}. West node 4 (row 2) is 1 hop from both
+  // west-edge MCs (rows 1 and 3) — the tie resolves to the first-listed,
+  // lower-row controller; likewise node 5 on the east edge.
+  const noc::MeshShape shape(4, 2);
+  const NodeRoles roles = assign_roles(shape, 4);
+  ASSERT_EQ(roles.mcs, (std::vector<std::int32_t>{2, 3, 6, 7}));
+  const auto nearest = nearest_mc_index(shape, roles);
+  EXPECT_EQ(nearest[4], 0u);  // tie between nodes 2 and 6 -> lower row
+  EXPECT_EQ(nearest[5], 1u);  // tie between nodes 3 and 7 -> lower row
+  EXPECT_EQ(nearest[0], 0u);  // strictly nearest: west row 1
+  EXPECT_EQ(nearest[7], 3u);  // an MC maps to itself
+}
+
 }  // namespace
 }  // namespace nocbt::accel

@@ -1,0 +1,157 @@
+// Tests for the model zoo: named builders, shape inference through
+// residual / depthwise / attention graphs, build determinism under a fixed
+// seed, and trained-like weight filling across every zoo model.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "dnn/depthwise_conv2d.h"
+#include "dnn/residual.h"
+#include "dnn/zoo.h"
+
+namespace nocbt::dnn {
+namespace {
+
+Tensor random_input(const Shape& shape, std::uint64_t seed) {
+  Tensor t(shape);
+  Rng rng(seed);
+  for (auto& v : t.data()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return t;
+}
+
+TEST(Zoo, NamesAndSpecs) {
+  const auto names = zoo_model_names();
+  ASSERT_EQ(names, (std::vector<std::string>{"lenet", "darknet", "resnet",
+                                             "mobile", "attention"}));
+  for (const auto& name : names) {
+    const ModelSpec spec = zoo_model_spec(name);
+    EXPECT_EQ(spec.input.n, 1) << name;
+    EXPECT_EQ(spec.classes, 10) << name;
+  }
+  EXPECT_THROW((void)zoo_model_spec("vgg"), std::invalid_argument);
+  try {
+    (void)zoo_model_spec("vgg");
+  } catch (const std::invalid_argument& e) {
+    // The error must list the valid names so CLI typos are self-explaining.
+    EXPECT_NE(std::string(e.what()).find("resnet"), std::string::npos);
+  }
+  Rng rng(1);
+  EXPECT_THROW((void)build_zoo_model("vgg", rng), std::invalid_argument);
+}
+
+TEST(Zoo, ShapeInferenceMatchesForwardForEveryModel) {
+  for (const auto& name : zoo_model_names()) {
+    Rng rng(7);
+    Sequential model = build_zoo_model(name, rng);
+    const ModelSpec spec = zoo_model_spec(name);
+    const Shape inferred = model.output_shape(spec.input);
+    const Tensor out = model.forward(random_input(spec.input, 11));
+    EXPECT_EQ(out.shape().n, inferred.n) << name;
+    EXPECT_EQ(out.shape().c, inferred.c) << name;
+    EXPECT_EQ(out.shape().h, inferred.h) << name;
+    EXPECT_EQ(out.shape().w, inferred.w) << name;
+    EXPECT_EQ(out.shape().numel(), spec.classes)
+        << name << ": classifier head must emit one logit per class";
+  }
+}
+
+TEST(Zoo, ResnetCarriesResidualBlocksThatInferShapes) {
+  Rng rng(3);
+  Sequential model = build_zoo_model("resnet", rng);
+  std::size_t residuals = 0;
+  for (std::size_t i = 0; i < model.size(); ++i) {
+    if (model.layer(i).kind() != LayerKind::kResidual) continue;
+    ++residuals;
+    auto& res = static_cast<Residual&>(model.layer(i));
+    // The identity-skip block preserves its input shape; the projection
+    // block halves the spatial dims while doubling channels, and its
+    // shortcut projection must agree with the body on the output shape.
+    if (res.projection() == nullptr) {
+      const Shape in{1, 16, 32, 32};
+      const Shape out = res.output_shape(in);
+      EXPECT_EQ(out.c, in.c);
+      EXPECT_EQ(out.h, in.h);
+      EXPECT_EQ(out.w, in.w);
+    } else {
+      const Shape in{1, 16, 32, 32};
+      const Shape out = res.output_shape(in);
+      EXPECT_EQ(out.c, 32);
+      EXPECT_EQ(out.h, 16);
+      EXPECT_EQ(out.w, 16);
+    }
+  }
+  EXPECT_EQ(residuals, 2u);
+}
+
+TEST(Zoo, MobileUsesDepthwiseSeparableStages) {
+  Rng rng(3);
+  Sequential model = build_zoo_model("mobile", rng);
+  std::size_t depthwise = 0;
+  for (std::size_t i = 0; i < model.size(); ++i) {
+    if (model.layer(i).kind() != LayerKind::kDepthwiseConv2d) continue;
+    ++depthwise;
+    auto& dw = static_cast<DepthwiseConv2d&>(model.layer(i));
+    // Depthwise preserves the channel count by construction.
+    const Shape in{1, dw.channels(), 16, 16};
+    EXPECT_EQ(dw.output_shape(in).c, dw.channels());
+    // Channel mismatch is a wiring bug and must throw.
+    Tensor mismatched(Shape{1, dw.channels() + 1, 16, 16});
+    EXPECT_THROW((void)dw.forward(mismatched), std::invalid_argument);
+  }
+  EXPECT_EQ(depthwise, 3u);
+}
+
+TEST(Zoo, BuildsAreDeterministicUnderAFixedSeed) {
+  for (const auto& name : zoo_model_names()) {
+    Rng rng_a(123);
+    Rng rng_b(123);
+    Rng rng_c(124);
+    Sequential a = build_zoo_model(name, rng_a);
+    Sequential b = build_zoo_model(name, rng_b);
+    Sequential c = build_zoo_model(name, rng_c);
+    EXPECT_EQ(a.weight_values(), b.weight_values())
+        << name << ": same seed must build identical weights";
+    EXPECT_NE(a.weight_values(), c.weight_values())
+        << name << ": different seeds must differ";
+  }
+}
+
+TEST(Zoo, FillWeightsTrainedLikeReachesEveryParameter) {
+  for (const auto& name : zoo_model_names()) {
+    Rng rng(9);
+    Sequential model = build_zoo_model(name, rng);
+    const std::vector<float> before = model.weight_values();
+    Rng fill_rng(10);
+    fill_weights_trained_like(model, fill_rng);
+    const std::vector<float> after = model.weight_values();
+    ASSERT_EQ(before.size(), after.size()) << name;
+    // Every weight must have been overwritten — including those inside
+    // residual bodies, shortcut projections and depthwise stages.
+    std::size_t changed = 0;
+    for (std::size_t i = 0; i < before.size(); ++i)
+      if (before[i] != after[i]) ++changed;
+    EXPECT_EQ(changed, before.size())
+        << name << ": trained-like fill skipped some weights";
+  }
+}
+
+TEST(Zoo, WeightValuesCoverResidualAndDepthwiseParams) {
+  // weight_values() must enumerate the same weight count params() reports,
+  // so calibration (fx8 codec ranges) sees the whole model.
+  for (const auto& name : zoo_model_names()) {
+    Rng rng(5);
+    Sequential model = build_zoo_model(name, rng);
+    std::int64_t expected = 0;
+    for (const auto& p : model.params())
+      if (p.name.ends_with(".weight")) expected += p.value->shape().numel();
+    EXPECT_EQ(static_cast<std::int64_t>(model.weight_values().size()),
+              expected)
+        << name;
+  }
+}
+
+}  // namespace
+}  // namespace nocbt::dnn

@@ -116,10 +116,10 @@ TEST(GeneratorEquivalenceReplay, ActiveSetMatchesFullScan) {
   // Replay a synthetic recorded trace (including a self-delivered packet
   // and a long idle gap) through both engines.
   noc::PacketTrace trace;
-  trace.record({1, 0, 15, 3, 0, 14, 6});
-  trace.record({2, 5, 5, 2, 4, 9, 0});
-  trace.record({3, 12, 3, 1, 900, 911, 5});
-  trace.record({4, 7, 8, 4, 903, 912, 1});
+  trace.record({1, 0, 15, 3, 0, 14, 6, {}, {}});
+  trace.record({2, 5, 5, 2, 4, 9, 0, {}, {}});
+  trace.record({3, 12, 3, 1, 900, 911, 5, {}, {}});
+  trace.record({4, 7, 8, 4, 903, 912, 1, {}, {}});
   const std::string path =
       ::testing::TempDir() + "/engine_equivalence_trace.csv";
   ASSERT_EQ(trace.dump_csv(path), 4u);
@@ -216,10 +216,10 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(AnalyticalEquivalenceReplay, MatchesActiveSet) {
   noc::PacketTrace trace;
-  trace.record({1, 0, 15, 3, 0, 14, 6});
-  trace.record({2, 5, 5, 2, 60, 65, 0});  // self-delivered
-  trace.record({3, 12, 3, 1, 900, 911, 5});
-  trace.record({4, 7, 8, 4, 960, 972, 1});
+  trace.record({1, 0, 15, 3, 0, 14, 6, {}, {}});
+  trace.record({2, 5, 5, 2, 60, 65, 0, {}, {}});  // self-delivered
+  trace.record({3, 12, 3, 1, 900, 911, 5, {}, {}});
+  trace.record({4, 7, 8, 4, 960, 972, 1, {}, {}});
   const std::string path =
       ::testing::TempDir() + "/analytical_equivalence_trace.csv";
   ASSERT_EQ(trace.dump_csv(path), 4u);
