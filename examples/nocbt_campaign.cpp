@@ -52,11 +52,8 @@
 #include <vector>
 
 #include "common/config.h"
-#include "common/rng.h"
-#include "dnn/models.h"
-#include "dnn/synthetic_data.h"
-#include "hw/energy_model.h"
 #include "sim/campaign.h"
+#include "sim/campaign_config.h"
 #include "sim/traffic_gen.h"
 
 using namespace nocbt;
@@ -77,115 +74,13 @@ std::int64_t get_bounded(const Options& opts, const std::string& key,
   return v;
 }
 
-/// Reject unknown keys so a typo ('generator=', 'packts=') fails loudly
-/// instead of silently running the sweep with defaults.
-void check_known_keys(const Options& opts) {
-  static const std::set<std::string> known{
-      "config",   "name",       "seed",        "replicates", "generators",
-      "formats",  "modes",      "meshes",      "windows",    "packets",
-      "rate",     "vcs",        "vc_depth",    "slots",      "dist",
-      "dist_a",   "dist_b",     "hotspot_fraction",          "hotspot_node",
-      "burst_len", "burst_gap", "trace",       "model_seed", "input_seed",
-      "max_cycles", "threads",  "progress",    "describe",   "csv",
-      "json",     "energy_pj",  "freq_mhz",    "heatmap",    "engine",
-      "profile",  "model",      "placement",   "tiles_per_layer",
-      "trace_out"};
-  for (const auto& [key, value] : opts.values())
-    if (known.count(key) == 0)
-      throw std::invalid_argument("unknown option '" + key +
-                                  "' (see the header comment for the knobs)");
-}
-
-sim::CampaignSpec build_campaign(const Options& opts) {
-  sim::CampaignSpec camp;
-  camp.name = opts.get_string("name", "campaign");
-  camp.root_seed = static_cast<std::uint64_t>(opts.get_int("seed", 42));
-  camp.replicates =
-      static_cast<std::uint32_t>(get_bounded(opts, "replicates", 1, 1, 1024));
-
-  camp.generators.clear();
-  for (const auto& g : split_csv_list(opts.get_string("generators", "uniform")))
-    camp.generators.push_back(sim::parse_generator_kind(g));
-  camp.formats.clear();
-  for (const auto& f : split_csv_list(opts.get_string("formats", "float32,fixed8")))
-    camp.formats.push_back(parse_data_format(f));
-  camp.modes =
-      ordering::parse_ordering_mode_list(opts.get_string("modes", "O0,O1,O2"));
-  camp.meshes.clear();
-  for (const auto& m : split_csv_list(opts.get_string("meshes", "4x4")))
-    camp.meshes.push_back(sim::parse_mesh_spec(m));
-  camp.windows.clear();
-  for (const auto& w : split_csv_list(opts.get_string("windows", "64"))) {
-    std::int64_t parsed = -1;
-    try {
-      parsed = parse_int_strict(w);
-    } catch (const std::exception&) {
-      parsed = -1;
-    }
-    if (parsed < 0 || parsed > 1'000'000)
-      throw std::invalid_argument("windows entry '" + w +
-                                  "' is not in [0, 1000000]");
-    camp.windows.push_back(static_cast<std::uint32_t>(parsed));
-  }
-
-  sim::ScenarioSpec& base = camp.base;
-  base.packets =
-      static_cast<std::uint32_t>(get_bounded(opts, "packets", 128, 1, 100'000'000));
-  base.injection_rate = opts.get_double("rate", 0.25);
-  base.num_vcs = static_cast<std::int32_t>(get_bounded(opts, "vcs", 4, 1, 64));
-  base.vc_buffer_depth =
-      static_cast<std::int32_t>(get_bounded(opts, "vc_depth", 4, 1, 1024));
-  base.values_per_flit =
-      static_cast<unsigned>(get_bounded(opts, "slots", 16, 2, 4096));
-  base.value_dist = sim::parse_value_dist(opts.get_string("dist", "laplace"));
-  base.dist_a = opts.get_double("dist_a", base.value_dist ==
-                                                  sim::ValueDist::kUniform
-                                              ? -1.0
-                                              : 0.0);
-  base.dist_b = opts.get_double("dist_b",
-                                base.value_dist == sim::ValueDist::kUniform
-                                    ? 1.0
-                                    : 0.2);
-  base.hotspot_fraction = opts.get_double("hotspot_fraction", 0.5);
-  base.hotspot_node = static_cast<std::int32_t>(
-      get_bounded(opts, "hotspot_node", -1, -1, 1 << 24));
-  base.burst_len = static_cast<std::uint32_t>(
-      get_bounded(opts, "burst_len", 8, 1, 1'000'000));
-  base.burst_gap = static_cast<std::uint32_t>(
-      get_bounded(opts, "burst_gap", 64, 0, 1'000'000'000));
-  base.trace_path = opts.get_string("trace", "");
-  base.energy_per_transition_pj =
-      hw::parse_energy_point(opts.get_string("energy_pj", "innovus"));
-  base.frequency_mhz = opts.get_double("freq_mhz", 125.0);
-  if (!(base.frequency_mhz > 0.0))
-    throw std::invalid_argument("option 'freq_mhz' must be positive");
-  apply_engine_choice(base,
-                      sim::parse_engine_choice(opts.get_string("engine", "auto")));
-  base.model_seed = static_cast<std::uint64_t>(opts.get_int("model_seed", 42));
-  base.input_seed = static_cast<std::uint64_t>(opts.get_int("input_seed", 7));
-  base.model = opts.get_string("model", "lenet");
-  base.placement = opts.get_string("placement", "rowmajor");
-  base.tiles_per_layer = static_cast<std::int32_t>(
-      get_bounded(opts, "tiles_per_layer", 4, 1, 1 << 20));
-  base.max_cycles = static_cast<std::uint64_t>(get_bounded(
-      opts, "max_cycles", 5'000'000, 1, std::int64_t{1} << 62));
-
-  // Model workload: a small trained-like LeNet (no training — the weight
-  // distribution is what matters for BT). Heavyweight trained models go
-  // through the library API instead (see bench/fig12_noc_sizes.cpp).
-  camp.hooks.model = [](std::uint64_t seed) {
-    Rng rng(seed);
-    dnn::Sequential model = dnn::build_lenet(rng);
-    Rng fill_rng(seed + 1);
-    dnn::fill_weights_trained_like(model, fill_rng, 0.04);
-    return model;
-  };
-  camp.hooks.input = [](std::uint64_t seed) {
-    dnn::SyntheticDataset data(dnn::SyntheticDataset::Config{}, seed);
-    return data.sample(1).images;
-  };
-  return camp;
-}
+/// This binary's runner-only keys — how the sweep is executed and reported.
+/// The campaign-shaping keys live in sim::campaign_option_keys(), shared
+/// with nocbt_optimize and the tests so every front-end interprets them
+/// identically.
+const std::set<std::string> kRunnerKeys{
+    "config", "threads", "progress", "describe",  "csv",
+    "json",   "heatmap", "profile",  "trace_out"};
 
 }  // namespace
 
@@ -195,9 +90,9 @@ int main(int argc, char** argv) {
     if (opts.has("config")) {
       opts.merge_defaults(Options::parse_file(opts.get_string("config", "")));
     }
-    check_known_keys(opts);
+    sim::check_campaign_keys(opts, kRunnerKeys);
 
-    const sim::CampaignSpec camp = build_campaign(opts);
+    const sim::CampaignSpec camp = sim::campaign_from_options(opts);
     const auto scenarios = camp.expand();
     if (scenarios.empty())
       throw std::invalid_argument(

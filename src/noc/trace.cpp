@@ -32,7 +32,13 @@ std::uint64_t parse_u64(const std::string& cell, std::uint64_t max_value) {
   if (cell.empty() || !std::isdigit(static_cast<unsigned char>(cell[0])))
     throw std::invalid_argument("not a non-negative integer: " + cell);
   std::size_t pos = 0;
-  const unsigned long long v = std::stoull(cell, &pos);
+  unsigned long long v = 0;
+  try {
+    v = std::stoull(cell, &pos);
+  } catch (const std::out_of_range&) {
+    // stoull's own message is just "stoull" — name the offending cell.
+    throw std::out_of_range("value out of range: " + cell);
+  }
   if (pos != cell.size())
     throw std::invalid_argument("trailing garbage: " + cell);
   if (v > max_value) throw std::out_of_range("value out of range: " + cell);
@@ -53,7 +59,10 @@ std::string format_payload(const std::vector<std::uint32_t>& words) {
 
 std::vector<std::uint32_t> parse_payload(const std::string& cell) {
   if (cell.size() % 8 != 0)
-    throw std::invalid_argument("payload length not a multiple of 8 digits");
+    throw std::invalid_argument(
+        "payload of " + std::to_string(cell.size()) +
+        " hex digits is not a whole number of 32-bit words (each word is "
+        "exactly 8 lowercase hex digits)");
   std::vector<std::uint32_t> words;
   words.reserve(cell.size() / 8);
   for (std::size_t i = 0; i < cell.size(); i += 8) {
@@ -82,7 +91,12 @@ std::int32_t parse_i32(const std::string& cell) {
       !std::isdigit(static_cast<unsigned char>(cell[digit_at])))
     throw std::invalid_argument("not an integer: " + cell);
   std::size_t pos = 0;
-  const long long v = std::stoll(cell, &pos);
+  long long v = 0;
+  try {
+    v = std::stoll(cell, &pos);
+  } catch (const std::out_of_range&) {
+    throw std::out_of_range("value out of range: " + cell);
+  }
   if (pos != cell.size())
     throw std::invalid_argument("trailing garbage: " + cell);
   if (v < std::numeric_limits<std::int32_t>::min() ||
@@ -187,7 +201,9 @@ PacketTrace PacketTrace::load_csv(const std::string& path) {
         // carrying row must hold matched streams.
         if (e.weights.size() != e.inputs.size())
           throw std::invalid_argument(
-              "weights/inputs payload lengths differ");
+              "weights payload holds " + std::to_string(e.weights.size()) +
+              " words but inputs holds " + std::to_string(e.inputs.size()) +
+              " (half-half flitization needs matched streams)");
       }
       trace.record(e);
     } catch (const std::exception& e) {

@@ -1,0 +1,67 @@
+#pragma once
+// The co-optimization driver: baseline sweep -> registered search ->
+// never-worse-than-baseline guard -> reproducible winning spec.
+//
+// run_coopt first sweeps every ordering mode of the space at the baseline
+// coordinates (axis index 0 of placements/windows/formats) — exactly the
+// single-mode sweep a front-end like resnet_placed_sweep performs — and
+// takes its best row as the incumbent. The selected optimizer then
+// searches the joint space starting from that incumbent. Because scores
+// are measured power (not a proxy) and the guard clamps the final answer
+// back to the incumbent if the search somehow did worse, the co-optimizer
+// is never worse than the best single-mode configuration, for every
+// optimizer and every seed — a property the test suite asserts across the
+// whole registry.
+
+#include <cstddef>
+#include <string>
+
+#include "opt/evaluator.h"
+#include "opt/optimizer.h"
+#include "opt/search_space.h"
+#include "sim/campaign.h"
+
+namespace nocbt::opt {
+
+struct CoOptResult {
+  /// Best row of the baseline mode sweep (the incumbent the search starts
+  /// from, and the guard's reference).
+  Candidate baseline;
+  double baseline_power_mw = 0.0;
+
+  Candidate best;
+  double best_power_mw = 0.0;
+  /// Full measurements of `best` (the row the winning spec reproduces).
+  sim::ScenarioResult best_result;
+  /// The single-point campaign that re-measures `best` byte for byte —
+  /// write_campaign_config(path, winning) emits the spec file
+  /// `nocbt_campaign config=path` re-runs.
+  sim::CampaignSpec winning;
+
+  /// True when the guard had to discard the search result (the optimizer
+  /// contract makes this unreachable for the built-ins; the flag is how
+  /// the tests and reports would notice a violating plug-in).
+  bool guard_applied = false;
+
+  std::vector<StepRecord> steps;  ///< search-phase trajectory
+  std::size_t evaluations = 0;    ///< unique scenarios simulated (all phases)
+};
+
+/// Run the full baseline -> search -> guard pipeline. `eval`'s memo is
+/// shared across phases (and with the caller, who may pre-warm or reuse
+/// it). Throws on an invalid space, an unknown optimizer name, or a
+/// failing scenario.
+[[nodiscard]] CoOptResult run_coopt(Evaluator& eval, const SearchSpace& space,
+                                    const CoOptConfig& config);
+
+/// Convenience overload owning a fresh Evaluator built from `base`.
+[[nodiscard]] CoOptResult run_coopt(const sim::CampaignSpec& base,
+                                    const SearchSpace& space,
+                                    const CoOptConfig& config);
+
+/// Human-readable, deterministic search report (baseline, trajectory,
+/// winner) — no wall-clock, so re-running the same co-optimization yields
+/// a byte-identical report.
+[[nodiscard]] std::string coopt_report(const CoOptResult& result);
+
+}  // namespace nocbt::opt

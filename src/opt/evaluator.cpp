@@ -1,0 +1,44 @@
+#include "opt/evaluator.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace nocbt::opt {
+
+Evaluator::Evaluator(sim::CampaignSpec base) : base_(std::move(base)) {
+  if (base_.generators.size() != 1)
+    throw std::invalid_argument(
+        "Evaluator: the campaign template must hold exactly one generator, "
+        "got " +
+        std::to_string(base_.generators.size()));
+  if (base_.meshes.size() != 1)
+    throw std::invalid_argument(
+        "Evaluator: the campaign template must hold exactly one mesh, got " +
+        std::to_string(base_.meshes.size()));
+  if (base_.replicates != 1)
+    throw std::invalid_argument(
+        "Evaluator: the campaign template must use replicates=1, got " +
+        std::to_string(base_.replicates));
+}
+
+sim::CampaignSpec Evaluator::campaign_for(const Candidate& c) const {
+  sim::CampaignSpec camp = base_;
+  camp.formats = {c.format};
+  camp.modes = {c.mode};
+  camp.windows = {c.window};
+  camp.base.placement = c.placement;
+  return camp;
+}
+
+const sim::ScenarioResult& Evaluator::evaluate(const Candidate& c) {
+  ++lookups_;
+  const std::string key = to_string(c);
+  if (const auto it = memo_.find(key); it != memo_.end()) return it->second;
+  sim::ScenarioResult result = sim::run_single_scenario(campaign_for(c));
+  if (!result.error.empty())
+    throw std::runtime_error("Evaluator: candidate " + key + " failed: " +
+                             result.error);
+  return memo_.emplace(key, std::move(result)).first->second;
+}
+
+}  // namespace nocbt::opt

@@ -1,0 +1,57 @@
+#pragma once
+// The co-optimizer's inner-loop scorer: one Candidate -> one measured
+// ScenarioResult, through the same campaign engine the sweep front-ends
+// use. Measurement, not a proxy model — every score is sim::
+// run_single_scenario on a single-point campaign, so the number the search
+// ranks by is byte-identical to the matching row of a full run_campaign
+// sweep (the differential tests pin this).
+//
+// Scores are memoized per candidate: optimizers revisit points freely
+// (annealing walks, greedy re-scans) and only the first visit simulates.
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "opt/search_space.h"
+#include "sim/campaign.h"
+
+namespace nocbt::opt {
+
+class Evaluator {
+ public:
+  /// `base` is the campaign template every candidate is scored under: its
+  /// non-grid knobs (mesh, model, tiles_per_layer, seeds, packets, energy
+  /// point, engine choice, ...) are shared by all candidates, while the
+  /// grid axes are overwritten per candidate. Throws std::invalid_argument
+  /// unless the template is single-point-able: exactly one generator and
+  /// one mesh, replicates == 1.
+  explicit Evaluator(sim::CampaignSpec base);
+
+  /// Measured result for `c` (memoized; the returned reference stays valid
+  /// for the evaluator's lifetime). Throws std::runtime_error when the
+  /// scenario fails — a search must not silently rank a broken
+  /// measurement.
+  const sim::ScenarioResult& evaluate(const Candidate& c);
+
+  /// The single-point campaign that measures exactly `c`: the template
+  /// with formats/modes/windows collapsed to the candidate's values and
+  /// the candidate's placement in the base scenario. This is what
+  /// evaluate() runs — and what the winning spec file is emitted from, so
+  /// "what the search scored" and "what the spec re-runs" are one object.
+  [[nodiscard]] sim::CampaignSpec campaign_for(const Candidate& c) const;
+
+  /// Unique scenarios simulated so far (cache misses).
+  [[nodiscard]] std::size_t runs() const { return memo_.size(); }
+  /// Total evaluate() calls (hits + misses).
+  [[nodiscard]] std::size_t lookups() const { return lookups_; }
+
+  [[nodiscard]] const sim::CampaignSpec& base() const { return base_; }
+
+ private:
+  sim::CampaignSpec base_;
+  std::map<std::string, sim::ScenarioResult> memo_;
+  std::size_t lookups_ = 0;
+};
+
+}  // namespace nocbt::opt

@@ -1,0 +1,66 @@
+#pragma once
+// The co-optimizer's joint search space: placement policy x ordering
+// strategy x per-packet window x payload codec. One Candidate is one point
+// of that space; a SearchSpace is the finite axis lists an optimizer may
+// move along. Placements are policy *names* (resolved through the
+// src/place registry), so a policy registered at runtime is searchable
+// without touching this layer — the same open-endedness the ordering axis
+// gets from OrderingMode covering every registered strategy.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/data_format.h"
+#include "ordering/ordering.h"
+#include "sim/campaign.h"
+
+namespace nocbt::opt {
+
+/// One point of the joint space. Plain value: cheap to copy, compare and
+/// stringify (the evaluator memoizes on to_string(Candidate)).
+struct Candidate {
+  std::string placement = "rowmajor";
+  ordering::OrderingMode mode = ordering::OrderingMode::kSeparated;
+  std::uint32_t window = 64;
+  DataFormat format = DataFormat::kFixed8;
+
+  friend bool operator==(const Candidate&, const Candidate&) = default;
+};
+
+/// "placement/mode/wN/format", e.g. "snake/O2/w64/fx8" — unique per
+/// candidate, and every token parses back through the respective
+/// parse_* helper.
+[[nodiscard]] std::string to_string(const Candidate& c);
+
+/// The finite axis lists a search runs over. Axes are ordered (index 0 of
+/// each axis is the *baseline* value the never-worse-than guard sweeps
+/// modes against — see run_coopt).
+struct SearchSpace {
+  std::vector<std::string> placements;
+  std::vector<ordering::OrderingMode> modes;
+  std::vector<std::uint32_t> windows;
+  std::vector<DataFormat> formats;
+
+  /// Number of candidates (product of axis sizes).
+  [[nodiscard]] std::size_t size() const;
+
+  /// Throws std::invalid_argument on an empty axis, a duplicate axis
+  /// value, or a placement name no registered policy answers to.
+  void validate() const;
+
+  /// The whole registered strategy/policy cross-product at the given
+  /// window and codec lists: every place::registered_policy_names() entry
+  /// x every ordering::all_ordering_modes() entry.
+  [[nodiscard]] static SearchSpace full(std::vector<std::uint32_t> windows,
+                                        std::vector<DataFormat> formats);
+
+  /// Lift a campaign's grid axes (modes, windows, formats) into a search
+  /// space with an explicit placement axis — how the CLI turns its
+  /// campaign-shaped options into the space it searches.
+  [[nodiscard]] static SearchSpace from_campaign(
+      const sim::CampaignSpec& camp, std::vector<std::string> placements);
+};
+
+}  // namespace nocbt::opt

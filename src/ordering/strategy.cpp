@@ -309,6 +309,13 @@ std::vector<const OrderingStrategy*> registered_strategies() {
   return out;
 }
 
+std::vector<std::string> registered_strategy_names() {
+  std::vector<std::string> out;
+  for (const OrderingStrategy* s : registered_strategies())
+    out.emplace_back(s->name());
+  return out;
+}
+
 void register_strategy(std::unique_ptr<OrderingStrategy> strategy) {
   if (!strategy)
     throw std::invalid_argument("register_strategy: null strategy");

@@ -85,6 +85,11 @@ class OrderingStrategy {
 /// stay valid for the process lifetime (strategies are never removed).
 [[nodiscard]] std::vector<const OrderingStrategy*> registered_strategies();
 
+/// Names of every registered strategy, registration order — the
+/// enumeration hook exhaustive sweeps and the co-optimizer build their
+/// strategy axis from (get_strategy accepts each returned name).
+[[nodiscard]] std::vector<std::string> registered_strategy_names();
+
 /// Add a strategy to the registry. Throws std::invalid_argument on a null
 /// strategy or a duplicate/empty name.
 void register_strategy(std::unique_ptr<OrderingStrategy> strategy);

@@ -135,6 +135,13 @@ std::vector<const PlacementPolicy*> registered_policies() {
   return out;
 }
 
+std::vector<std::string> registered_policy_names() {
+  std::vector<std::string> out;
+  for (const PlacementPolicy* p : registered_policies())
+    out.emplace_back(p->name());
+  return out;
+}
+
 void register_policy(std::unique_ptr<PlacementPolicy> policy) {
   if (!policy) throw std::invalid_argument("register_policy: null policy");
   if (policy->name().empty())

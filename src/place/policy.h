@@ -55,6 +55,11 @@ class PlacementPolicy {
 /// stay valid for the process lifetime (policies are never removed).
 [[nodiscard]] std::vector<const PlacementPolicy*> registered_policies();
 
+/// Names of every registered policy, registration order — the enumeration
+/// hook the co-optimizer and sweep front-ends build their placement axis
+/// from (get_policy accepts each returned name).
+[[nodiscard]] std::vector<std::string> registered_policy_names();
+
 /// Add a policy to the registry. Throws std::invalid_argument on a null
 /// policy or a duplicate/empty name.
 void register_policy(std::unique_ptr<PlacementPolicy> policy);

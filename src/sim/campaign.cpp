@@ -510,6 +510,17 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, const ModelHooks& hooks) {
   return run_scenario_impl(spec, hooks, nullptr);
 }
 
+ScenarioResult run_single_scenario(const CampaignSpec& spec) {
+  const std::vector<ScenarioSpec> scenarios = spec.expand();
+  if (scenarios.size() != 1)
+    throw std::invalid_argument(
+        "run_single_scenario: campaign '" + spec.name + "' expands to " +
+        std::to_string(scenarios.size()) +
+        " scenarios (every grid axis must hold exactly one value and "
+        "replicates must be 1)");
+  return run_scenario_impl(scenarios.front(), spec.hooks, nullptr);
+}
+
 CampaignResult run_campaign(const CampaignSpec& spec,
                             const RunnerConfig& runner) {
   const std::vector<ScenarioSpec> scenarios = spec.expand();

@@ -143,6 +143,15 @@ struct RunnerConfig {
 [[nodiscard]] ScenarioResult run_scenario(const ScenarioSpec& spec,
                                           const ModelHooks& hooks);
 
+/// Expand a single-point campaign (every grid axis holding exactly one
+/// value, replicates == 1) and run its only scenario — the co-optimizer's
+/// inner-loop scorer. The result is byte-identical to the matching row of
+/// run_campaign on the same spec: expansion derives the same name and
+/// seed, and the runner's schedule cache only shares materialization, not
+/// measurements. Throws std::invalid_argument when the grid expands to
+/// more than one scenario.
+[[nodiscard]] ScenarioResult run_single_scenario(const CampaignSpec& spec);
+
 /// Expand and execute the whole grid on `threads` workers.
 [[nodiscard]] CampaignResult run_campaign(const CampaignSpec& spec,
                                           const RunnerConfig& runner = {});

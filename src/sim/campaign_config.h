@@ -1,0 +1,52 @@
+#pragma once
+// The campaign key=value surface as a library: parsing and emission.
+//
+// campaign_from_options() is nocbt_campaign's option surface extracted
+// into src/sim so every front-end (nocbt_campaign, nocbt_optimize, tests)
+// builds byte-identical campaigns from the same keys — the single place
+// where "packets=", "modes=", "tiles_per_layer=", ... are interpreted.
+//
+// campaign_config_text() is the inverse: it serializes a CampaignSpec back
+// into that surface such that
+//   campaign_from_options(Options::parse_file(emitted_file))
+// reconstructs a campaign whose expansion, seeds and measurements are
+// byte-identical to the original. This is how the co-optimizer (src/opt)
+// emits its winning configuration as a reproducible spec file that
+// `nocbt_campaign config=FILE` re-runs byte for byte. Every knob is
+// emitted explicitly — never relying on a default — so a spec file stays
+// reproducible even if a front-end default drifts later.
+
+#include <set>
+#include <string>
+
+#include "common/config.h"
+#include "sim/campaign.h"
+
+namespace nocbt::sim {
+
+/// Every campaign-shaping option key campaign_from_options() reads. Runner
+/// keys (threads=, progress=, csv=, json=, ...) are deliberately absent:
+/// they select how a sweep is executed and reported, not what it measures.
+[[nodiscard]] const std::set<std::string>& campaign_option_keys();
+
+/// Reject option keys that are neither campaign-shaping nor in `extra`
+/// (a front-end's runner keys), so a typo ("generator=", "packts=") fails
+/// loudly instead of silently sweeping defaults.
+void check_campaign_keys(const Options& opts,
+                         const std::set<std::string>& extra);
+
+/// Build the declarative sweep a set of options describes (grid axes,
+/// base scenario knobs, default LeNet model hooks). Throws
+/// std::invalid_argument on malformed or out-of-range values.
+[[nodiscard]] CampaignSpec campaign_from_options(const Options& opts);
+
+/// Serialize `spec` as a key=value config file body (one pair per line,
+/// '#' header comment). Throws std::invalid_argument on a spec the key
+/// surface cannot express (an empty grid axis).
+[[nodiscard]] std::string campaign_config_text(const CampaignSpec& spec);
+
+/// campaign_config_text straight to a file. Throws std::runtime_error on
+/// I/O failure.
+void write_campaign_config(const std::string& path, const CampaignSpec& spec);
+
+}  // namespace nocbt::sim

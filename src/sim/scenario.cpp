@@ -162,9 +162,19 @@ void ScenarioSpec::validate() const {
     if (num_mcs < 1 || num_mcs >= rows * cols)
       throw std::invalid_argument(
           "ScenarioSpec: bad MC count for placement workload");
-    if (tiles_per_layer < 1)
+    // Every op's tiles must land on distinct PEs: beyond the PE count the
+    // policies' wrap-around indexing would co-locate two tiles of the same
+    // layer, so gate the knob against the mesh's PE budget up front.
+    const std::int32_t pe_count = rows * cols - num_mcs;
+    if (tiles_per_layer < 1 || tiles_per_layer > pe_count)
       throw std::invalid_argument(
-          "ScenarioSpec: tiles_per_layer must be >= 1");
+          "ScenarioSpec: tiles_per_layer " + std::to_string(tiles_per_layer) +
+          " for model '" + model + "' does not fit the " +
+          std::to_string(rows) + "x" + std::to_string(cols) + " mesh's " +
+          std::to_string(pe_count) + " PE tiles (" + std::to_string(num_mcs) +
+          " of " + std::to_string(rows * cols) +
+          " nodes are memory controllers; want a value in [1, " +
+          std::to_string(pe_count) + "])");
     (void)dnn::zoo_model_spec(model);    // throws listing the zoo names
     (void)place::get_policy(placement);  // throws listing the policies
   }

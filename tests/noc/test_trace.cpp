@@ -160,6 +160,120 @@ TEST(PacketTrace, LoadRejectsMalformedRow) {
   EXPECT_THROW(PacketTrace::load_csv(path), std::runtime_error);
 }
 
+// ---------------------------------------------------------------------------
+// Fuzz-style negative coverage of the v2 payload columns: every malformed
+// shape a hand-edited or truncated trace can take must fail with an error
+// that names the problem — never crash, never silently accept.
+
+constexpr char kPayloadHeader[] =
+    "packet_id,src,dst,num_flits,inject_cycle,eject_cycle,latency,hops,"
+    "weights,inputs";
+
+void expect_load_error(const std::string& path, const std::string& needle) {
+  try {
+    const PacketTrace trace = PacketTrace::load_csv(path);
+    FAIL() << "expected load_csv to reject " << path << " (loaded "
+           << trace.size() << " events)";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "error message was: " << e.what();
+  }
+}
+
+TEST(PacketTraceFuzz, TruncatedHexPayloadNamesTheWordSize) {
+  const std::string path = testing::TempDir() + "nocbt_trace_trunchex.csv";
+  // 7 hex digits: a word cut short mid-write.
+  std::ofstream(path) << kPayloadHeader << "\n"
+                      << "1,0,3,4,10,15,5,2,0123456,89abcdef\n";
+  expect_load_error(path, "whole number of 32-bit words");
+}
+
+TEST(PacketTraceFuzz, BadHexDigitIsNamed) {
+  const std::string path = testing::TempDir() + "nocbt_trace_badhex.csv";
+  // Uppercase hex is not the dump format; 'G' is not hex at all.
+  std::ofstream(path) << kPayloadHeader << "\n"
+                      << "1,0,3,4,10,15,5,2,0123456F,89abcdef\n";
+  expect_load_error(path, "bad hex digit");
+  std::ofstream(path) << kPayloadHeader << "\n"
+                      << "1,0,3,4,10,15,5,2,0123456g,89abcdef\n";
+  expect_load_error(path, "bad hex digit");
+}
+
+TEST(PacketTraceFuzz, WrongColumnCountsUnderPayloadHeader) {
+  const std::string path = testing::TempDir() + "nocbt_trace_badcols.csv";
+  // 9 cells: one payload column missing.
+  std::ofstream(path) << kPayloadHeader << "\n"
+                      << "1,0,3,4,10,15,5,2,01234567\n";
+  expect_load_error(path, "9 cells");
+  // 11 cells: a stray comma inside a payload edit.
+  std::ofstream(path) << kPayloadHeader << "\n"
+                      << "1,0,3,4,10,15,5,2,01234567,89abcdef,deadbeef\n";
+  expect_load_error(path, "11 cells");
+}
+
+TEST(PacketTraceFuzz, PayloadRowsUnderLegacyHeaderAreRejected) {
+  const std::string path = testing::TempDir() + "nocbt_trace_legacypayload.csv";
+  std::ofstream(path)
+      << "packet_id,src,dst,num_flits,inject_cycle,eject_cycle,latency,hops\n"
+      << "1,0,3,4,10,15,5,2,01234567,89abcdef\n";
+  expect_load_error(path, "10 cells");
+}
+
+TEST(PacketTraceFuzz, MismatchedPayloadStreamsNameBothCounts) {
+  const std::string path = testing::TempDir() + "nocbt_trace_mismatch.csv";
+  std::ofstream(path)
+      << kPayloadHeader << "\n"
+      << "1,0,3,4,10,15,5,2,0123456789abcdef,89abcdef\n";  // 2 words vs 1
+  expect_load_error(path, "matched streams");
+}
+
+TEST(PacketTraceFuzz, OutOfRangeValuesSayOutOfRange) {
+  const std::string path = testing::TempDir() + "nocbt_trace_oor.csv";
+  // packet_id beyond uint64: stoull itself overflows — the error must name
+  // the cell, not leak the implementation's "stoull".
+  std::ofstream(path) << kPayloadHeader << "\n"
+                      << "99999999999999999999999,0,3,4,10,15,5,2,,\n";
+  expect_load_error(path, "value out of range: 99999999999999999999999");
+  // src beyond int32 (both the stoll-overflow and the int32-cap paths).
+  std::ofstream(path) << kPayloadHeader << "\n"
+                      << "1,99999999999999999999999,3,4,10,15,5,2,,\n";
+  expect_load_error(path, "value out of range");
+  std::ofstream(path) << kPayloadHeader << "\n"
+                      << "1,3000000000,3,4,10,15,5,2,,\n";
+  expect_load_error(path, "value out of range: 3000000000");
+}
+
+TEST(PacketTraceFuzz, EmptyPayloadCellsMeanNoPayload) {
+  const std::string path = testing::TempDir() + "nocbt_trace_emptypayload.csv";
+  std::ofstream(path) << kPayloadHeader << "\n"
+                      << "1,0,3,4,10,15,5,2,,\n";
+  const PacketTrace trace = PacketTrace::load_csv(path);
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_TRUE(trace.events()[0].weights.empty());
+  EXPECT_TRUE(trace.events()[0].inputs.empty());
+}
+
+TEST(PacketTraceFuzz, CrlfPayloadRowRoundTrips) {
+  const std::string crlf = testing::TempDir() + "nocbt_trace_crlfpayload.csv";
+  std::ofstream(crlf) << kPayloadHeader << "\r\n"
+                      << "1,0,3,4,10,15,5,2,0123456789abcdef,deadbeef00ff00ff\r\n";
+  const PacketTrace loaded = PacketTrace::load_csv(crlf);
+  ASSERT_EQ(loaded.size(), 1u);
+  ASSERT_EQ(loaded.events()[0].weights.size(), 2u);
+  EXPECT_EQ(loaded.events()[0].weights[0], 0x01234567u);
+  EXPECT_EQ(loaded.events()[0].weights[1], 0x89abcdefu);
+  ASSERT_EQ(loaded.events()[0].inputs.size(), 2u);
+  EXPECT_EQ(loaded.events()[0].inputs[0], 0xdeadbeefu);
+  EXPECT_EQ(loaded.events()[0].inputs[1], 0x00ff00ffu);
+
+  const std::string redump = testing::TempDir() + "nocbt_trace_crlfpayload2.csv";
+  loaded.dump_csv(redump);
+  const PacketTrace reloaded = PacketTrace::load_csv(redump);
+  ASSERT_EQ(reloaded.size(), 1u);
+  EXPECT_EQ(reloaded.events()[0].weights, loaded.events()[0].weights);
+  EXPECT_EQ(reloaded.events()[0].inputs, loaded.events()[0].inputs);
+}
+
 TEST(PacketTrace, LoadToleratesCrlfLineEndings) {
   const std::string path = testing::TempDir() + "nocbt_trace_crlf.csv";
   std::ofstream(path)

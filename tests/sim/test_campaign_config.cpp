@@ -1,0 +1,145 @@
+// Tests for the shared campaign option surface (sim/campaign_config):
+// key checking, the options -> spec -> text -> spec round-trip the
+// co-optimizer's emitted configs rely on, the run_single_scenario vs
+// run_campaign differential, and the tiles_per_layer mesh-capacity
+// validation.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "sim/campaign.h"
+#include "sim/campaign_config.h"
+
+namespace nocbt::sim {
+namespace {
+
+/// Options from literal "key=value" arguments (argv-style).
+Options make_options(std::vector<std::string> args) {
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>("test"));
+  for (std::string& a : args) argv.push_back(a.data());
+  return Options::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CampaignConfig, UnknownKeyIsRejectedUnlessDeclaredExtra) {
+  const Options opts = make_options({"packts=32"});
+  EXPECT_THROW(check_campaign_keys(opts, {}), std::invalid_argument);
+  EXPECT_NO_THROW(check_campaign_keys(opts, {"packts"}));
+  EXPECT_NO_THROW(check_campaign_keys(make_options({"packets=32"}), {}));
+}
+
+TEST(CampaignConfig, EveryDeclaredKeyIsAccepted) {
+  for (const std::string& key : campaign_option_keys())
+    EXPECT_NO_THROW(check_campaign_keys(make_options({key + "=x"}), {}))
+        << key;
+}
+
+TEST(CampaignConfig, EmittedTextReconstructsTheSameCampaign) {
+  // A deliberately non-default spec on every axis and most scalars.
+  const Options opts = make_options(
+      {"name=rt", "seed=99", "generators=placement", "formats=fixed8",
+       "modes=O2,bucket", "meshes=8x8mc4", "windows=32,64", "packets=96",
+       "rate=0.125", "vcs=2", "vc_depth=8", "slots=8", "fixed_bits=6",
+       "dist=normal", "dist_a=0.1", "dist_b=0.3", "model=resnet",
+       "placement=snake", "tiles_per_layer=8", "model_seed=5",
+       "input_seed=11", "energy_pj=banerjee", "freq_mhz=250",
+       "engine=active", "max_cycles=123456"});
+  const CampaignSpec original = campaign_from_options(opts);
+  const std::string text = campaign_config_text(original);
+
+  const std::string path = testing::TempDir() + "nocbt_campcfg_rt.conf";
+  write_campaign_config(path, original);
+  const CampaignSpec reparsed =
+      campaign_from_options(Options::parse_file(path));
+
+  // The emission is a fixed point: emitting the reparsed spec reproduces
+  // the text byte for byte, so every campaign-shaping knob round-tripped.
+  EXPECT_EQ(campaign_config_text(reparsed), text);
+
+  // And the reparsed campaign expands to the same scenarios (names and
+  // derived seeds included).
+  const auto a = original.expand();
+  const auto b = reparsed.expand();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].seed, b[i].seed);
+  }
+}
+
+TEST(CampaignConfig, DefaultsRoundTripToo) {
+  const CampaignSpec defaults = campaign_from_options(Options());
+  const std::string path = testing::TempDir() + "nocbt_campcfg_def.conf";
+  write_campaign_config(path, defaults);
+  EXPECT_EQ(
+      campaign_config_text(campaign_from_options(Options::parse_file(path))),
+      campaign_config_text(defaults));
+}
+
+/// Single-point placement campaign used by the differential tests.
+CampaignSpec single_point_campaign(const std::string& engine) {
+  return campaign_from_options(make_options(
+      {"generators=placement", "formats=fixed8", "modes=O2", "meshes=4x4",
+       "windows=32", "model=lenet", "placement=rowmajor",
+       "tiles_per_layer=4", "engine=" + engine}));
+}
+
+TEST(CampaignConfig, SingleScenarioMatchesCampaignRowOnBothEngines) {
+  // The co-optimizer's inner-loop scorer must return the identical bytes a
+  // full run_campaign reports for the same grid point — under auto engine
+  // selection and with the cycle engine forced.
+  for (const std::string engine : {"auto", "active"}) {
+    SCOPED_TRACE("engine=" + engine);
+    const CampaignSpec camp = single_point_campaign(engine);
+    const ScenarioResult single = run_single_scenario(camp);
+    const CampaignResult swept = run_campaign(camp);
+    ASSERT_EQ(swept.rows.size(), 1u);
+    ASSERT_TRUE(single.error.empty()) << single.error;
+    EXPECT_TRUE(single == swept.rows.front());
+    // Spell out the fields the optimizer ranks by, so a drift is named.
+    EXPECT_EQ(single.power_mw, swept.rows.front().power_mw);
+    EXPECT_EQ(single.energy_pj, swept.rows.front().energy_pj);
+  }
+}
+
+TEST(CampaignConfig, RunSingleScenarioRejectsGrids) {
+  CampaignSpec camp = single_point_campaign("auto");
+  camp.windows = {32, 64};
+  EXPECT_THROW((void)run_single_scenario(camp), std::invalid_argument);
+  camp.windows = {32};
+  camp.replicates = 2;
+  EXPECT_THROW((void)run_single_scenario(camp), std::invalid_argument);
+}
+
+TEST(CampaignConfig, TilesPerLayerMustFitTheMeshUpFront) {
+  // 4x4 mesh with 2 MCs = 14 PE tiles; 15 tiles per layer cannot fit
+  // without co-locating tiles of the same op, and validate() must say so
+  // naming the value, the model and the valid range.
+  CampaignSpec camp = single_point_campaign("auto");
+  camp.base.tiles_per_layer = 15;
+  const auto scenarios = camp.expand();
+  ASSERT_EQ(scenarios.size(), 1u);
+  try {
+    scenarios.front().validate();
+    FAIL() << "expected validate() to reject tiles_per_layer=15 on 4x4mc2";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("15"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("lenet"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("[1, 14]"), std::string::npos) << msg;
+  }
+
+  // The boundary itself is legal.
+  camp.base.tiles_per_layer = 14;
+  EXPECT_NO_THROW(camp.expand().front().validate());
+  camp.base.tiles_per_layer = 0;
+  EXPECT_THROW(camp.expand().front().validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nocbt::sim
