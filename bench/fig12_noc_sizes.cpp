@@ -27,6 +27,7 @@
 #include "common/config.h"
 #include "common/table.h"
 #include "sim/campaign.h"
+#include "sim/campaign_executor.h"
 
 using namespace nocbt;
 using ordering::OrderingMode;

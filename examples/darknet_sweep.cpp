@@ -29,6 +29,8 @@
 #include "dnn/models.h"
 #include "dnn/synthetic_data.h"
 #include "sim/campaign.h"
+#include "sim/campaign_executor.h"
+#include "sim/campaign_report.h"
 
 using namespace nocbt;
 

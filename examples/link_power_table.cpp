@@ -26,6 +26,7 @@
 #include "common/table.h"
 #include "hw/energy_model.h"
 #include "sim/campaign.h"
+#include "sim/campaign_executor.h"
 
 using namespace nocbt;
 

@@ -43,6 +43,17 @@
 // step-loop profile CSV (actual engine run, wall-clock per variant,
 // cycles stepped vs. idle-skipped, component steps run vs. skipped, skip
 // ratio).
+//
+// Campaign service (see README "Campaign service"): `cache_dir=DIR` keeps
+// a content-addressed store of completed scenario rows — a rerun (or a
+// nocbt_optimize search over the same scenarios) replays hits instead of
+// re-simulating. `resume=FILE` checkpoints every completed row to an
+// append-only journal; rerunning the same command after a kill skips the
+// journaled rows, and pointing resume= at a journal from a *different*
+// spec fails loudly. `shard=i/N` runs the i-th of N deterministic
+// expansion slices (give each shard its own resume= file);
+// `merge=FILE1,FILE2,...` reassembles shard journals into the full
+// reports — byte-identical to a serial run — without simulating anything.
 
 #include <cstdio>
 #include <exception>
@@ -53,7 +64,10 @@
 
 #include "common/config.h"
 #include "sim/campaign.h"
+#include "sim/campaign_executor.h"
+#include "sim/campaign_report.h"
 #include "sim/campaign_config.h"
+#include "sim/run_journal.h"
 #include "sim/traffic_gen.h"
 
 using namespace nocbt;
@@ -80,7 +94,7 @@ std::int64_t get_bounded(const Options& opts, const std::string& key,
 /// identically.
 const std::set<std::string> kRunnerKeys{
     "config", "threads", "progress", "describe",  "csv",
-    "json",   "heatmap", "profile",  "trace_out"};
+    "json",   "heatmap", "profile",  "trace_out", "merge"};
 
 }  // namespace
 
@@ -90,7 +104,10 @@ int main(int argc, char** argv) {
     if (opts.has("config")) {
       opts.merge_defaults(Options::parse_file(opts.get_string("config", "")));
     }
-    sim::check_campaign_keys(opts, kRunnerKeys);
+    std::set<std::string> extra = kRunnerKeys;
+    extra.insert(sim::campaign_service_option_keys().begin(),
+                 sim::campaign_service_option_keys().end());
+    sim::check_campaign_keys(opts, extra);
 
     const sim::CampaignSpec camp = sim::campaign_from_options(opts);
     const auto scenarios = camp.expand();
@@ -113,6 +130,7 @@ int main(int argc, char** argv) {
     sim::RunnerConfig runner;
     runner.threads =
         static_cast<unsigned>(get_bounded(opts, "threads", 4, 1, 1024));
+    runner.exec = sim::execution_from_options(opts);
     if (opts.get_bool("progress", true)) {
       runner.on_result = [](const sim::ScenarioResult& row, std::size_t done,
                             std::size_t total) {
@@ -139,7 +157,27 @@ int main(int argc, char** argv) {
                   first.name.c_str(), trace_out.c_str());
     }
 
-    const sim::CampaignResult result = sim::run_campaign(camp, runner);
+    // merge=: reassemble shard journals into the full reports instead of
+    // running anything — the reports are byte-identical to a serial run's.
+    const std::string merge = opts.get_string("merge", "");
+    const sim::CampaignResult result =
+        merge.empty() ? sim::run_campaign(camp, runner)
+                      : sim::merge_campaign(camp, split_csv_list(merge));
+    for (const std::string& warning : result.stats.warnings)
+      std::fprintf(stderr, "nocbt_campaign: warning: %s\n", warning.c_str());
+    if (!merge.empty()) {
+      std::printf("merged %zu journal(s): %zu rows recovered\n",
+                  split_csv_list(merge).size(), result.rows.size());
+    } else if (!runner.exec.cache_dir.empty() ||
+               !runner.exec.journal_path.empty() ||
+               runner.exec.shard.count > 1) {
+      std::printf(
+          "shard %s: %zu of %zu scenarios assigned — %zu simulated, %zu "
+          "cache hits, %zu journal hits\n",
+          to_string(runner.exec.shard).c_str(), result.stats.assigned,
+          result.stats.grid_total, result.stats.simulated,
+          result.stats.cache_hits, result.stats.journal_hits);
+    }
     std::fputs(sim::render_table(result).c_str(), stdout);
 
     const std::string csv_path = opts.get_string("csv", "");

@@ -40,20 +40,37 @@
 //   json=        the winner's single-row campaign JSON report (identical
 //                bytes to re-running the emitted spec with json=)
 //   report_out=  deterministic search report (baseline, trajectory, winner)
+//
+// Campaign service (see README "Campaign service"): `cache_dir=DIR` scores
+// through the same content-addressed store nocbt_campaign uses — a
+// candidate whose scenario was already measured (by an earlier search, a
+// killed one, or a campaign sweep) is served from the cache instead of
+// re-simulating. `resume=FILE` checkpoints every simulated evaluation to a
+// journal and preloads it on the next run; a journal written under a
+// different template or placement axis is refused. `shard=i/N` switches to
+// cache-warming mode: evaluate the i-th deterministic slice of the
+// enumerated candidate space into cache_dir/resume and exit without
+// searching — run all N shards (concurrently, same cache_dir), then run
+// the search itself with that warm cache and zero re-simulations.
 
 #include <cstdio>
 #include <exception>
 #include <fstream>
+#include <memory>
 #include <set>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "common/config.h"
+#include "common/hash.h"
 #include "opt/coopt.h"
 #include "ordering/ordering.h"
 #include "place/policy.h"
 #include "sim/campaign_config.h"
+#include "sim/campaign_report.h"
+#include "sim/run_journal.h"
+#include "sim/scenario_cache.h"
 
 using namespace nocbt;
 
@@ -79,7 +96,10 @@ int main(int argc, char** argv) {
     if (opts.has("config")) {
       opts.merge_defaults(Options::parse_file(opts.get_string("config", "")));
     }
-    sim::check_campaign_keys(opts, kOptimizerKeys);
+    std::set<std::string> extra = kOptimizerKeys;
+    extra.insert(sim::campaign_service_option_keys().begin(),
+                 sim::campaign_service_option_keys().end());
+    sim::check_campaign_keys(opts, extra);
 
     sim::CampaignSpec base = sim::campaign_from_options(opts);
     if (opts.has("generators")) {
@@ -121,7 +141,83 @@ int main(int argc, char** argv) {
         space.windows.size(), space.formats.size(), config.optimizer.c_str(),
         config.max_evals, static_cast<unsigned long long>(config.seed));
 
-    const opt::CoOptResult result = opt::run_coopt(base, space, config);
+    // Campaign service: a shared content-addressed cache (memory-only when
+    // cache_dir= is absent) plus an optional evaluation journal.
+    const sim::ExecutionConfig exec = sim::execution_from_options(opts);
+    auto cache = std::make_shared<sim::ScenarioCache>(exec.cache_dir);
+    opt::Evaluator eval(base, cache);
+
+    std::unique_ptr<sim::RunJournal> journal;
+    if (!exec.journal_path.empty()) {
+      // The journal's identity domain: the full measurement template (the
+      // emitted spec text covers every knob) plus the placement axis.
+      StableHash id;
+      id.add("nocbt-coopt-v1");
+      id.add(sim::campaign_config_text(base));
+      for (const std::string& p : space.placements) id.add(p);
+      const std::string search_hash = id.hex();
+      sim::JournalContents prior = sim::read_journal(exec.journal_path);
+      bool fresh = true;
+      if (prior.exists && prior.header_ok) {
+        if (prior.campaign_hash != search_hash)
+          throw std::runtime_error(
+              "journal '" + exec.journal_path + "' was written for search " +
+              prior.campaign_hash + " but this template/placement axis "
+              "hashes to " + search_hash +
+              " — refusing to mix evaluations across differing searches "
+              "(point resume= at a fresh file or rerun the original "
+              "configuration)");
+        for (const auto& [hash, row] : prior.rows)
+          cache->insert_memory(hash, row);
+        fresh = false;
+      }
+      for (const std::string& w : prior.warnings)
+        std::fprintf(stderr, "nocbt_optimize: warning: %s\n", w.c_str());
+      journal = std::make_unique<sim::RunJournal>(
+          exec.journal_path, search_hash,
+          static_cast<std::uint64_t>(space.size()), fresh);
+    }
+    std::uint64_t appended = 0;
+    eval.on_measure = [&](const opt::Candidate&, const std::string& hash,
+                          const sim::ScenarioResult& row) {
+      if (journal) journal->append(hash, appended++, row);
+    };
+
+    // shard=i/N: cache-warming mode — evaluate this shard's deterministic
+    // slice of the enumerated space (placement-major, format-minor order)
+    // and exit without searching.
+    if (exec.shard.count > 1) {
+      if (exec.cache_dir.empty() && exec.journal_path.empty())
+        throw std::invalid_argument(
+            "shard= warms the shared cache, so it needs cache_dir=DIR "
+            "and/or resume=FILE to persist its evaluations");
+      std::size_t index = 0;
+      std::size_t evaluated = 0;
+      for (const std::string& placement : space.placements)
+        for (const ordering::OrderingMode mode : space.modes)
+          for (const std::uint32_t window : space.windows)
+            for (const DataFormat format : space.formats) {
+              if (index++ % exec.shard.count != exec.shard.index) continue;
+              const opt::Candidate c{placement, mode, window, format};
+              (void)eval.evaluate(c);
+              ++evaluated;
+            }
+      std::printf(
+          "shard %s: evaluated %zu of %zu candidates (%zu simulated, %zu "
+          "shared-cache hits)\n",
+          sim::to_string(exec.shard).c_str(), evaluated, space.size(),
+          eval.runs(), eval.shared_hits());
+      for (const std::string& w : cache->take_diagnostics())
+        std::fprintf(stderr, "nocbt_optimize: warning: %s\n", w.c_str());
+      return 0;
+    }
+
+    const opt::CoOptResult result = opt::run_coopt(eval, space, config);
+    if (!exec.cache_dir.empty() || !exec.journal_path.empty())
+      std::printf("campaign service: %zu simulated, %zu shared-cache hits\n",
+                  eval.runs(), eval.shared_hits());
+    for (const std::string& w : cache->take_diagnostics())
+      std::fprintf(stderr, "nocbt_optimize: warning: %s\n", w.c_str());
 
     if (opts.get_bool("progress", true))
       std::fputs(opt::coopt_report(result).c_str(), stdout);

@@ -25,6 +25,8 @@
 #include "common/config.h"
 #include "common/table.h"
 #include "sim/campaign.h"
+#include "sim/campaign_executor.h"
+#include "sim/campaign_report.h"
 
 using namespace nocbt;
 

@@ -1,0 +1,69 @@
+#include "common/hash.h"
+
+#include <cstring>
+
+namespace nocbt {
+
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+inline std::uint64_t fnv_step(std::uint64_t h, unsigned char byte) noexcept {
+  return (h ^ byte) * kFnvPrime;
+}
+
+std::string to_hex16(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[v & 0xF];
+    v >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+void StableHash::add_bytes(const void* data, std::size_t size) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    lo_ = fnv_step(lo_, bytes[i]);
+    hi_ = fnv_step(hi_, static_cast<unsigned char>(bytes[i] ^ 0x5Au));
+  }
+}
+
+void StableHash::add(std::string_view s) noexcept {
+  add(static_cast<std::uint64_t>(s.size()));
+  add_bytes(s.data(), s.size());
+}
+
+void StableHash::add(std::uint64_t v) noexcept {
+  unsigned char bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<unsigned char>(v & 0xFF);
+    v >>= 8;
+  }
+  add_bytes(bytes, sizeof(bytes));
+}
+
+void StableHash::add(double v) noexcept {
+  if (v == 0.0) v = 0.0;  // -0.0 and 0.0 compare equal; hash them equal too
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  add(bits);
+}
+
+std::string StableHash::hex() const { return to_hex16(hi_) + to_hex16(lo_); }
+
+std::uint64_t fnv1a64(std::string_view bytes) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : bytes) h = fnv_step(h, static_cast<unsigned char>(c));
+  return h;
+}
+
+std::string fnv1a64_hex(std::string_view bytes) {
+  return to_hex16(fnv1a64(bytes));
+}
+
+}  // namespace nocbt

@@ -1,0 +1,64 @@
+#pragma once
+// Stable content hashing for persisted stores (the campaign engine's
+// content-addressed scenario cache and checkpoint journals).
+//
+// StableHash is a 128-bit FNV-1a variant: two independent 64-bit FNV-1a
+// lanes over the same byte stream, seeded with distinct offset bases. The
+// digest depends only on the fed bytes — never on platform, pointer
+// values, std::hash salting, or process lifetime — so a hash computed
+// today identifies the same content in a file written last week by a
+// different build. The exact digests are pinned by known-answer tests;
+// changing the algorithm is a cache-format break and must bump the format
+// version of every store built on it.
+//
+// Typed add() overloads delimit their input (strings are length-prefixed,
+// integers are fed as fixed-width little-endian bytes), so adjacent fields
+// cannot alias each other ("ab" + "c" != "a" + "bc") and a field sequence
+// has one unambiguous encoding.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace nocbt {
+
+class StableHash {
+ public:
+  /// Feed raw bytes (no delimiting — prefer the typed overloads).
+  void add_bytes(const void* data, std::size_t size) noexcept;
+
+  /// Length-prefixed, so consecutive strings cannot alias.
+  void add(std::string_view s) noexcept;
+  void add(const std::string& s) noexcept { add(std::string_view(s)); }
+  void add(const char* s) noexcept { add(std::string_view(s)); }
+
+  void add(std::uint64_t v) noexcept;
+  void add(std::int64_t v) noexcept { add(static_cast<std::uint64_t>(v)); }
+  void add(std::uint32_t v) noexcept { add(static_cast<std::uint64_t>(v)); }
+  void add(std::int32_t v) noexcept {
+    add(static_cast<std::uint64_t>(static_cast<std::int64_t>(v)));
+  }
+  void add(bool b) noexcept { add(static_cast<std::uint64_t>(b ? 1 : 0)); }
+  /// Hashed by bit pattern (normalizing -0.0 to 0.0 so the two equal
+  /// values share a digest; NaNs are not expected in hashed domains).
+  void add(double v) noexcept;
+
+  /// 32 lowercase hex characters (hi lane then lo lane).
+  [[nodiscard]] std::string hex() const;
+
+  [[nodiscard]] std::uint64_t lane_hi() const noexcept { return hi_; }
+  [[nodiscard]] std::uint64_t lane_lo() const noexcept { return lo_; }
+
+ private:
+  // FNV-1a 64-bit offset basis / prime; the hi lane starts from a distinct
+  // fixed offset so the lanes decorrelate.
+  std::uint64_t lo_ = 0xcbf29ce484222325ull;
+  std::uint64_t hi_ = 0x6c62272e07bb0142ull;
+};
+
+/// One-shot FNV-1a 64 over a byte string — the per-record checksum used by
+/// the cache/journal line format (16 lowercase hex characters).
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes) noexcept;
+[[nodiscard]] std::string fnv1a64_hex(std::string_view bytes);
+
+}  // namespace nocbt

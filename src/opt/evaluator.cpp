@@ -3,9 +3,16 @@
 #include <stdexcept>
 #include <utility>
 
+#include "sim/scenario_runner.h"
+
 namespace nocbt::opt {
 
-Evaluator::Evaluator(sim::CampaignSpec base) : base_(std::move(base)) {
+Evaluator::Evaluator(sim::CampaignSpec base)
+    : Evaluator(std::move(base), nullptr) {}
+
+Evaluator::Evaluator(sim::CampaignSpec base,
+                     std::shared_ptr<sim::ScenarioCache> cache)
+    : base_(std::move(base)), cache_(std::move(cache)) {
   if (base_.generators.size() != 1)
     throw std::invalid_argument(
         "Evaluator: the campaign template must hold exactly one generator, "
@@ -34,11 +41,18 @@ const sim::ScenarioResult& Evaluator::evaluate(const Candidate& c) {
   ++lookups_;
   const std::string key = to_string(c);
   if (const auto it = memo_.find(key); it != memo_.end()) return it->second;
-  sim::ScenarioResult result = sim::run_single_scenario(campaign_for(c));
-  if (!result.error.empty())
+  sim::SingleRunOutcome outcome =
+      sim::run_single_scenario_cached(campaign_for(c), cache_.get());
+  if (outcome.cache_hit)
+    ++shared_hits_;
+  else
+    ++simulated_;
+  if (!outcome.row.error.empty())
     throw std::runtime_error("Evaluator: candidate " + key + " failed: " +
-                             result.error);
-  return memo_.emplace(key, std::move(result)).first->second;
+                             outcome.row.error);
+  if (on_measure && !outcome.cache_hit && !outcome.content_hash.empty())
+    on_measure(c, outcome.content_hash, outcome.row);
+  return memo_.emplace(key, std::move(outcome.row)).first->second;
 }
 
 }  // namespace nocbt::opt

@@ -8,13 +8,19 @@
 //
 // Scores are memoized per candidate: optimizers revisit points freely
 // (annealing walks, greedy re-scans) and only the first visit simulates.
+// Hand the evaluator a shared sim::ScenarioCache and even first visits can
+// be served without simulating — searches resume across processes and
+// share hits with campaign sweeps pointed at the same cache_dir.
 
 #include <cstddef>
+#include <functional>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "opt/search_space.h"
 #include "sim/campaign.h"
+#include "sim/scenario_cache.h"
 
 namespace nocbt::opt {
 
@@ -27,6 +33,12 @@ class Evaluator {
   /// unless the template is single-point-able: exactly one generator and
   /// one mesh, replicates == 1.
   explicit Evaluator(sim::CampaignSpec base);
+
+  /// Same, scoring through a shared content-addressed cache (may be null):
+  /// a first visit whose scenario is already cached — by an earlier
+  /// search, a resumed one, or a campaign sweep over the same cache_dir —
+  /// is served without simulating.
+  Evaluator(sim::CampaignSpec base, std::shared_ptr<sim::ScenarioCache> cache);
 
   /// Measured result for `c` (memoized; the returned reference stays valid
   /// for the evaluator's lifetime). Throws std::runtime_error when the
@@ -41,17 +53,32 @@ class Evaluator {
   /// "what the search scored" and "what the spec re-runs" are one object.
   [[nodiscard]] sim::CampaignSpec campaign_for(const Candidate& c) const;
 
-  /// Unique scenarios simulated so far (cache misses).
-  [[nodiscard]] std::size_t runs() const { return memo_.size(); }
+  /// Scenarios actually simulated so far. Without a shared cache this is
+  /// exactly the local-memo miss count; with one it can be lower (misses
+  /// served by the cache).
+  [[nodiscard]] std::size_t runs() const { return simulated_; }
   /// Total evaluate() calls (hits + misses).
   [[nodiscard]] std::size_t lookups() const { return lookups_; }
+  /// First visits served by the shared cache instead of simulating.
+  [[nodiscard]] std::size_t shared_hits() const { return shared_hits_; }
+
+  /// Invoked with the scenario content hash whenever a content-addressable
+  /// candidate is actually *simulated* (never on a shared-cache hit —
+  /// those rows are already persisted somewhere), so a front-end can
+  /// checkpoint completed evaluations (the resume journal).
+  std::function<void(const Candidate&, const std::string& content_hash,
+                     const sim::ScenarioResult&)>
+      on_measure;
 
   [[nodiscard]] const sim::CampaignSpec& base() const { return base_; }
 
  private:
   sim::CampaignSpec base_;
+  std::shared_ptr<sim::ScenarioCache> cache_;
   std::map<std::string, sim::ScenarioResult> memo_;
   std::size_t lookups_ = 0;
+  std::size_t simulated_ = 0;
+  std::size_t shared_hits_ = 0;
 };
 
 }  // namespace nocbt::opt

@@ -1,7 +1,7 @@
 #pragma once
-// Campaign runner: parameter-grid expansion over scenarios, a simple
-// fixed-pool parallel executor, and report generation (ASCII table, CSV,
-// JSON).
+// Campaign planning layer: the declarative sweep description and its
+// deterministic expansion into seeded scenarios, plus the result row type
+// every downstream layer exchanges.
 //
 // A CampaignSpec is the cross product
 //   generators x formats x modes x meshes x windows x replicates
@@ -10,17 +10,14 @@
 // and its *mode-independent* grid position (its traffic stream), so every
 // ordering-mode row of one grid point injects the byte-identical
 // pre-ordering schedule and mode deltas measure the ordering alone.
-// Results are bit-identical regardless of how many worker threads execute
-// the sweep — each worker owns a private noc::Network and the only shared
-// state is an immutable per-stream schedule, generated once per campaign
-// and reused across the stream's mode rows.
 //
-// Every scenario is measured twice through identical injection schedules:
-// once with O0 (baseline) payload ordering and once with the scenario's
-// ordering mode, yielding the BT reduction the paper reports. Model
-// scenarios run full inferences through NocDnaPlatform instead, which is
-// how bench/fig12_noc_sizes reproduces its paper figure through this
-// engine.
+// The execution core is layered on top of this file, one seam per unit:
+//   sim/scenario_runner.h   — run one scenario (both ordering variants)
+//   sim/scenario_cache.h    — content-addressed persisted ScenarioResults
+//   sim/run_journal.h       — append-only checkpoint/resume journal
+//   sim/campaign_executor.h — sharded parallel sweep over the expansion
+//   sim/campaign_report.h   — ASCII / CSV / JSON / heatmap / profile output
+// Front-ends include the seams they drive; nothing here depends on them.
 
 #include <cstdint>
 #include <functional>
@@ -66,6 +63,12 @@ struct MeshSpec {
 struct ModelHooks {
   std::function<dnn::Sequential(std::uint64_t seed)> model;
   std::function<dnn::Tensor(std::uint64_t seed)> input;
+  /// Stable fingerprint of what the factories build (e.g.
+  /// "builtin-lenet-v1"). Model scenarios are only content-addressable —
+  /// cacheable and journalable — when this is non-empty, because the
+  /// lambdas themselves cannot be hashed; leave it empty for ad-hoc hooks
+  /// and those scenarios simply always re-simulate.
+  std::string id;
 };
 
 /// Declarative sweep description.
@@ -114,8 +117,10 @@ struct ScenarioResult {
   /// cycles stepped vs. idle-skipped, component steps run vs. skipped).
   noc::SimProfile sim;
   /// Host wall-clock of each variant run, in milliseconds. NOT
-  /// deterministic — excluded from operator== and from the golden-compared
-  /// CSV/JSON reports; surfaced via write_profile_csv only.
+  /// deterministic — excluded from operator==, from the golden-compared
+  /// CSV/JSON reports, and from the persisted cache/journal records
+  /// (cached rows replay with 0 here); surfaced via write_profile_csv
+  /// only.
   double wall_ms_baseline = 0.0;
   double wall_ms_ordered = 0.0;
   /// Per-link measurements of the ordered run (every monitored link, in
@@ -126,68 +131,25 @@ struct ScenarioResult {
 
 [[nodiscard]] bool operator==(const ScenarioResult& a, const ScenarioResult& b);
 
+/// How the executor obtained each row of a sweep — the observability the
+/// cache/resume machinery is tested and CI-gated through.
+struct ExecutionStats {
+  std::size_t grid_total = 0;    ///< scenarios in the full expansion
+  std::size_t assigned = 0;      ///< scenarios in this process's shard
+  std::size_t simulated = 0;     ///< rows actually run by the engines
+  std::size_t cache_hits = 0;    ///< rows served by the scenario cache
+  std::size_t journal_hits = 0;  ///< rows skipped via the resume journal
+  /// Non-fatal diagnostics (corrupt cache/journal records, each naming the
+  /// file and offending record). Front-ends print these to stderr.
+  std::vector<std::string> warnings;
+};
+
 struct CampaignResult {
-  std::vector<ScenarioResult> rows;  ///< same order as CampaignSpec::expand()
+  /// Executed rows in grid order. A full (unsharded) run carries one row
+  /// per expanded scenario; a shard carries only its assigned subset —
+  /// merge_campaign (sim/run_journal.h) reassembles the full sweep.
+  std::vector<ScenarioResult> rows;
+  ExecutionStats stats;
 };
-
-struct RunnerConfig {
-  unsigned threads = 1;
-  /// Invoked after each scenario completes (serialized by the runner, so
-  /// the callback needs no locking of its own).
-  std::function<void(const ScenarioResult&, std::size_t done,
-                     std::size_t total)>
-      on_result;
-};
-
-/// Run one already-expanded scenario (both ordering variants).
-[[nodiscard]] ScenarioResult run_scenario(const ScenarioSpec& spec,
-                                          const ModelHooks& hooks);
-
-/// Expand a single-point campaign (every grid axis holding exactly one
-/// value, replicates == 1) and run its only scenario — the co-optimizer's
-/// inner-loop scorer. The result is byte-identical to the matching row of
-/// run_campaign on the same spec: expansion derives the same name and
-/// seed, and the runner's schedule cache only shares materialization, not
-/// measurements. Throws std::invalid_argument when the grid expands to
-/// more than one scenario.
-[[nodiscard]] ScenarioResult run_single_scenario(const CampaignSpec& spec);
-
-/// Expand and execute the whole grid on `threads` workers.
-[[nodiscard]] CampaignResult run_campaign(const CampaignSpec& spec,
-                                          const RunnerConfig& runner = {});
-
-/// Render results as the repo's standard ASCII table.
-[[nodiscard]] std::string render_table(const CampaignResult& result);
-
-/// Write one CSV row per scenario via common/csv. Returns rows written.
-std::size_t write_csv_report(const std::string& path,
-                             const CampaignSpec& campaign,
-                             const CampaignResult& result);
-
-/// Step-loop profile CSV: one row per scenario with the engine, wall-clock
-/// per variant, deterministic step counters and the component skip ratio.
-/// Kept separate from write_csv_report/json_report so the wall-clock
-/// columns never enter the byte-compared golden fixtures. Returns rows
-/// written.
-std::size_t write_profile_csv(const std::string& path,
-                              const CampaignSpec& campaign,
-                              const CampaignResult& result);
-
-/// Per-link "heatmap" CSV: one row per monitored link per scenario
-/// (scenario, link id, kind, src -> dst, flits, BT, energy in pJ), for
-/// hotspot analysis across meshes. Returns rows written.
-std::size_t write_link_heatmap_csv(const std::string& path,
-                                   const CampaignSpec& campaign,
-                                   const CampaignResult& result);
-
-/// Machine-readable report: campaign metadata + one JSON object per
-/// scenario. Deliberately excludes wall-clock and thread-count fields so
-/// the report is byte-identical for identical specs at any parallelism.
-[[nodiscard]] std::string json_report(const CampaignSpec& campaign,
-                                      const CampaignResult& result);
-
-/// json_report straight to a file. Throws std::runtime_error on I/O failure.
-void write_json_report(const std::string& path, const CampaignSpec& campaign,
-                       const CampaignResult& result);
 
 }  // namespace nocbt::sim

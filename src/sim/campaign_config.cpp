@@ -68,13 +68,32 @@ const std::set<std::string>& campaign_option_keys() {
   return keys;
 }
 
+const std::set<std::string>& campaign_service_option_keys() {
+  static const std::set<std::string> keys{"cache_dir", "resume", "shard"};
+  return keys;
+}
+
 void check_campaign_keys(const Options& opts,
                          const std::set<std::string>& extra) {
   const std::set<std::string>& known = campaign_option_keys();
   for (const auto& [key, value] : opts.values())
-    if (known.count(key) == 0 && extra.count(key) == 0)
+    if (known.count(key) == 0 && extra.count(key) == 0) {
+      std::string valid;
+      for (const std::string& k : known) valid += k + " ";
+      for (const std::string& k : extra) valid += k + " ";
+      if (!valid.empty()) valid.pop_back();
       throw std::invalid_argument("unknown option '" + key +
-                                  "' (see the header comment for the knobs)");
+                                  "' (valid keys: " + valid + ")");
+    }
+}
+
+ExecutionConfig execution_from_options(const Options& opts) {
+  ExecutionConfig exec;
+  exec.cache_dir = opts.get_string("cache_dir", "");
+  exec.journal_path = opts.get_string("resume", "");
+  const std::string shard = opts.get_string("shard", "");
+  if (!shard.empty()) exec.shard = parse_shard_spec(shard);
+  return exec;
 }
 
 CampaignSpec campaign_from_options(const Options& opts) {
@@ -164,6 +183,9 @@ CampaignSpec campaign_from_options(const Options& opts) {
     dnn::SyntheticDataset data(dnn::SyntheticDataset::Config{}, seed);
     return data.sample(1).images;
   };
+  // The fingerprint that makes these hooks content-addressable: bump it if
+  // the factories above ever change what they build.
+  camp.hooks.id = "builtin-lenet-v1";
   return camp;
 }
 

@@ -21,6 +21,7 @@
 
 #include "common/config.h"
 #include "sim/campaign.h"
+#include "sim/campaign_executor.h"
 
 namespace nocbt::sim {
 
@@ -29,11 +30,23 @@ namespace nocbt::sim {
 /// they select how a sweep is executed and reported, not what it measures.
 [[nodiscard]] const std::set<std::string>& campaign_option_keys();
 
+/// The campaign-service execution keys execution_from_options() reads
+/// (cache_dir=, resume=, shard=). Like the runner keys they select *how* a
+/// sweep executes, never what it measures — front-ends pass them as
+/// `extra` to check_campaign_keys.
+[[nodiscard]] const std::set<std::string>& campaign_service_option_keys();
+
 /// Reject option keys that are neither campaign-shaping nor in `extra`
 /// (a front-end's runner keys), so a typo ("generator=", "packts=") fails
-/// loudly instead of silently sweeping defaults.
+/// loudly — the error lists every key that would have been valid.
 void check_campaign_keys(const Options& opts,
                          const std::set<std::string>& extra);
+
+/// Build the executor's service config from the campaign-service keys:
+/// cache_dir=DIR (content-addressed result store), resume=FILE
+/// (checkpoint journal, loaded when present), shard=i/N (deterministic
+/// expansion slice). Throws std::invalid_argument on a malformed shard.
+[[nodiscard]] ExecutionConfig execution_from_options(const Options& opts);
 
 /// Build the declarative sweep a set of options describes (grid axes,
 /// base scenario knobs, default LeNet model hooks). Throws

@@ -1,0 +1,85 @@
+#pragma once
+// Checkpoint/resume journal: an append-only record of completed scenario
+// rows, flushed after every append, so a killed campaign (or co-optimizer
+// search) resumes by replaying the journal and re-running only what is
+// missing. The header pins the campaign content hash — resuming against a
+// journal written for a different spec fails with a descriptive error
+// instead of silently mixing rows — and every record line carries its own
+// checksum, so a torn final append (the normal wreckage of a kill) is
+// rejected with a diagnostic naming the file and record while every intact
+// record still resumes.
+//
+// The same record lines double as shard outputs: merge_campaign unions the
+// journals of an N-way sharded run back into one CampaignResult whose
+// reports are byte-identical to a serial run's.
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/campaign.h"
+
+namespace nocbt::sim {
+
+/// Everything read_journal recovers from a journal file.
+struct JournalContents {
+  bool exists = false;     ///< the file was present (even if damaged)
+  bool header_ok = false;  ///< the header line parsed; hash/total are valid
+  std::string campaign_hash;
+  std::uint64_t total = 0;  ///< expansion size recorded at write time
+  /// Intact rows keyed by scenario content hash (the journal's identity
+  /// domain — positional indexes are only advisory). row.spec is
+  /// default-constructed; consumers re-attach the live spec.
+  std::unordered_map<std::string, ScenarioResult> rows;
+  /// Advisory expansion index of each recovered row, keyed like `rows`.
+  std::unordered_map<std::string, std::uint64_t> indexes;
+  /// One entry per rejected line, naming the file and offending record.
+  std::vector<std::string> warnings;
+};
+
+/// Load a journal, tolerating damage: corrupt or truncated records are
+/// skipped with a warning (file + record number + defect); a missing file
+/// yields exists=false; an unrecognizable header yields header_ok=false
+/// (callers must then ignore `rows` and start the journal fresh). Never
+/// throws on file content — damage degrades to re-simulation.
+[[nodiscard]] JournalContents read_journal(const std::string& path);
+
+/// The append side. Construction either starts the file fresh (writing the
+/// header) or reopens it for appending — callers validate the existing
+/// header via read_journal first. Appends are flushed immediately so a
+/// kill loses at most the row being written (whose torn record the reader
+/// rejects by checksum).
+class RunJournal {
+ public:
+  /// Open `path` for appending. When `fresh` is true the file is truncated
+  /// and a `campaign_hash`/`total` header is written. Throws on I/O error.
+  RunJournal(const std::string& path, const std::string& campaign_hash,
+             std::uint64_t total, bool fresh);
+
+  /// Append one completed row (encode_result_record line) and flush.
+  void append(const std::string& content_hash, std::uint64_t index,
+              const ScenarioResult& row);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+};
+
+/// Reassemble a full sweep from the journals of an N-way sharded run (any
+/// journal set covering the expansion works — including a single serial
+/// journal). Validates that every journal's header hash matches `spec`'s
+/// campaign content hash, then returns rows in grid order with live specs
+/// re-attached, so render_table / write_csv_report / json_report emit
+/// byte-identical output to a serial in-process run. Throws a descriptive
+/// error on a hash mismatch, an unreadable journal, an uncacheable
+/// scenario (which no journal can carry), or scenarios missing from every
+/// journal (naming them). Damaged records skipped during reading surface
+/// in the returned stats.warnings.
+[[nodiscard]] CampaignResult merge_campaign(
+    const CampaignSpec& spec, const std::vector<std::string>& journal_paths);
+
+}  // namespace nocbt::sim

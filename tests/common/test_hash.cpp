@@ -1,0 +1,105 @@
+// Tests for the stable hashing utility the campaign service keys its
+// content-addressed cache and resume journals on. The known-answer digests
+// pin the algorithm: a change here is a cache-format break (every
+// persisted store and journal silently misses), so these values must only
+// ever change together with a deliberate format-version bump.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <string>
+
+#include "common/hash.h"
+
+namespace nocbt {
+namespace {
+
+TEST(Fnv1a64, KnownAnswers) {
+  // Published FNV-1a test vectors.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a64_hex(""), "cbf29ce484222325");
+  EXPECT_EQ(fnv1a64_hex("nocbt"), "9ee72e71ee8664fd");
+}
+
+TEST(StableHash, KnownAnswerDigestsArePinned) {
+  EXPECT_EQ(StableHash().hex(), "6c62272e07bb0142cbf29ce484222325");
+  StableHash name;
+  name.add("nocbt");
+  EXPECT_EQ(name.hex(), "1ec228956fedc309f86cbad6d6d06ea2");
+  StableHash mixed;
+  mixed.add("nocbt-scenario-v1");
+  mixed.add(std::uint64_t{42});
+  mixed.add(true);
+  mixed.add(1.5);
+  EXPECT_EQ(mixed.hex(), "80d92f67b01c6a9a70e544ba7799b031");
+}
+
+TEST(StableHash, HexIs32LowercaseHexChars) {
+  StableHash h;
+  h.add("anything");
+  const std::string hex = h.hex();
+  ASSERT_EQ(hex.size(), 32u);
+  for (const char c : hex)
+    EXPECT_TRUE(std::isxdigit(static_cast<unsigned char>(c)) &&
+                !std::isupper(static_cast<unsigned char>(c)))
+        << hex;
+}
+
+TEST(StableHash, FeedingIsDeterministic) {
+  StableHash a, b;
+  for (StableHash* h : {&a, &b}) {
+    h->add("key");
+    h->add(std::int64_t{-7});
+    h->add(0.25);
+    h->add(false);
+  }
+  EXPECT_EQ(a.hex(), b.hex());
+}
+
+TEST(StableHash, StringsAreLengthPrefixed) {
+  // Without length prefixes "ab"+"c" and "a"+"bc" would collide.
+  StableHash a, b;
+  a.add("ab");
+  a.add("c");
+  b.add("a");
+  b.add("bc");
+  EXPECT_NE(a.hex(), b.hex());
+}
+
+TEST(StableHash, FieldOrderMatters) {
+  StableHash a, b;
+  a.add("x");
+  a.add("y");
+  b.add("y");
+  b.add("x");
+  EXPECT_NE(a.hex(), b.hex());
+}
+
+TEST(StableHash, IntegerAndDoubleFeedsAreDistinct) {
+  StableHash a, b;
+  a.add(std::uint64_t{1});
+  b.add(1.0);
+  EXPECT_NE(a.hex(), b.hex());
+}
+
+TEST(StableHash, NegativeZeroNormalizesToZero) {
+  // -0.0 == 0.0 but differs in bit pattern; the hash must treat equal
+  // doubles as equal keys or identical scenarios would split across
+  // cache entries.
+  StableHash a, b;
+  a.add(0.0);
+  b.add(-0.0);
+  EXPECT_EQ(a.hex(), b.hex());
+}
+
+TEST(StableHash, SingleBitChangesTheDigest) {
+  StableHash a, b;
+  a.add(std::uint64_t{0x10});
+  b.add(std::uint64_t{0x11});
+  EXPECT_NE(a.hex(), b.hex());
+}
+
+}  // namespace
+}  // namespace nocbt

@@ -20,6 +20,8 @@
 #include "ordering/ordering.h"
 #include "place/policy.h"
 #include "sim/campaign.h"
+#include "sim/campaign_report.h"
+#include "sim/scenario_runner.h"
 #include "sim/campaign_config.h"
 
 namespace nocbt::opt {

@@ -1,0 +1,162 @@
+// Tests for the Evaluator x ScenarioCache seam: co-optimizer searches and
+// campaign sweeps scoring through one content-addressed store must share
+// hits both ways, the on_measure checkpoint hook must fire only for real
+// simulations, and uncacheable templates must degrade to plain simulation
+// with an empty content hash.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "opt/evaluator.h"
+#include "opt/search_space.h"
+#include "ordering/ordering.h"
+#include "place/policy.h"
+#include "sim/campaign.h"
+#include "sim/campaign_config.h"
+#include "sim/campaign_executor.h"
+#include "sim/scenario_cache.h"
+
+namespace nocbt::opt {
+namespace {
+
+std::string scratch_dir(const std::string& leaf) {
+  const std::string path = testing::TempDir() + "nocbt_shared_" + leaf;
+  std::filesystem::remove_all(path);
+  return path;
+}
+
+/// Small placed-lenet template: fast to simulate, fully cacheable (the
+/// placement generator derives its traffic from the zoo by model name, so
+/// no hooks fingerprint is involved).
+sim::CampaignSpec lenet_template() {
+  Options opts;
+  sim::CampaignSpec base = sim::campaign_from_options(opts);
+  base.name = "shared-cache-unit";
+  base.generators = {sim::GeneratorKind::kPlacement};
+  base.meshes = {sim::parse_mesh_spec("4x4mc2")};
+  base.modes = {ordering::OrderingMode::kBaseline,
+                ordering::OrderingMode::kSeparated};
+  base.windows = {16};
+  base.formats = {DataFormat::kFixed8};
+  base.base.model = "lenet";
+  base.base.tiles_per_layer = 2;
+  return base;
+}
+
+Candidate first_candidate(const sim::CampaignSpec& base) {
+  return Candidate{place::registered_policy_names().front(),
+                   base.modes.front(), base.windows.front(),
+                   base.formats.front()};
+}
+
+TEST(SharedCache, SecondEvaluatorIsServedWithoutSimulating) {
+  const sim::CampaignSpec base = lenet_template();
+  const Candidate c = first_candidate(base);
+  const std::string dir = scratch_dir("second_eval");
+
+  Evaluator first(base, std::make_shared<sim::ScenarioCache>(dir));
+  const sim::ScenarioResult cold = first.evaluate(c);
+  EXPECT_EQ(first.runs(), 1u);
+  EXPECT_EQ(first.shared_hits(), 0u);
+  // Memoized revisit: no new simulation, no new cache traffic.
+  (void)first.evaluate(c);
+  EXPECT_EQ(first.lookups(), 2u);
+  EXPECT_EQ(first.runs(), 1u);
+
+  // A fresh evaluator (new process, same cache_dir) resumes for free.
+  Evaluator second(base, std::make_shared<sim::ScenarioCache>(dir));
+  const sim::ScenarioResult warm = second.evaluate(c);
+  EXPECT_EQ(second.runs(), 0u) << "shared cache must serve the first visit";
+  EXPECT_EQ(second.shared_hits(), 1u);
+  EXPECT_TRUE(warm == cold);
+}
+
+TEST(SharedCache, SweepAndSearchShareHitsBothWays) {
+  const sim::CampaignSpec base = lenet_template();
+  const std::string dir = scratch_dir("cross_frontend");
+  auto cache = std::make_shared<sim::ScenarioCache>(dir);
+  Evaluator eval(base, cache);
+  const Candidate c = first_candidate(base);
+
+  // Sweep first: run_campaign over the exact single-point campaign the
+  // evaluator would score, persisting into the shared store.
+  sim::RunnerConfig runner;
+  runner.exec.cache_dir = dir;
+  const sim::CampaignResult sweep = run_campaign(eval.campaign_for(c), runner);
+  ASSERT_EQ(sweep.rows.size(), 1u);
+  EXPECT_EQ(sweep.stats.simulated, 1u);
+
+  // Search second: the evaluator's first visit is a shared hit, and the
+  // score is the sweep's row.
+  const sim::ScenarioResult scored = eval.evaluate(c);
+  EXPECT_EQ(eval.runs(), 0u);
+  EXPECT_EQ(eval.shared_hits(), 1u);
+  EXPECT_TRUE(scored == sweep.rows[0]);
+
+  // And the other way: a candidate the search measured is a cache hit for
+  // a later sweep.
+  const Candidate c2{c.placement, base.modes.back(), c.window, c.format};
+  (void)eval.evaluate(c2);
+  EXPECT_EQ(eval.runs(), 1u);
+  const sim::CampaignResult sweep2 =
+      run_campaign(eval.campaign_for(c2), runner);
+  EXPECT_EQ(sweep2.stats.simulated, 0u);
+  EXPECT_EQ(sweep2.stats.cache_hits, 1u);
+}
+
+TEST(SharedCache, OnMeasureFiresOnlyForRealSimulations) {
+  const sim::CampaignSpec base = lenet_template();
+  const std::string dir = scratch_dir("on_measure");
+  const Candidate c = first_candidate(base);
+
+  std::vector<std::string> hashes;
+  Evaluator first(base, std::make_shared<sim::ScenarioCache>(dir));
+  first.on_measure = [&](const Candidate&, const std::string& hash,
+                         const sim::ScenarioResult&) {
+    hashes.push_back(hash);
+  };
+  (void)first.evaluate(c);
+  (void)first.evaluate(c);  // memo hit — must not re-fire
+  ASSERT_EQ(hashes.size(), 1u) << "one simulation, one checkpoint";
+  EXPECT_EQ(hashes[0].size(), 32u);
+
+  Evaluator second(base, std::make_shared<sim::ScenarioCache>(dir));
+  std::size_t fired = 0;
+  second.on_measure = [&](const Candidate&, const std::string&,
+                          const sim::ScenarioResult&) { ++fired; };
+  (void)second.evaluate(c);
+  EXPECT_EQ(second.shared_hits(), 1u);
+  EXPECT_EQ(fired, 0u)
+      << "shared-cache hits are already persisted — no re-checkpoint";
+}
+
+TEST(SharedCache, UncacheableTemplateStillScoresWithoutCheckpoints) {
+  // A model-inference template with no hooks fingerprint has no stable
+  // identity: every visit simulates (beyond the local memo) and on_measure
+  // never fires, so journals only ever hold replayable rows.
+  sim::CampaignSpec base = lenet_template();
+  base.generators = {sim::GeneratorKind::kModel};
+  base.hooks.id.clear();
+
+  const std::string dir = scratch_dir("uncacheable");
+  Evaluator eval(base, std::make_shared<sim::ScenarioCache>(dir));
+  std::size_t fired = 0;
+  eval.on_measure = [&](const Candidate&, const std::string&,
+                        const sim::ScenarioResult&) { ++fired; };
+  const Candidate c = first_candidate(base);
+  (void)eval.evaluate(c);
+  EXPECT_EQ(eval.runs(), 1u);
+  EXPECT_EQ(eval.shared_hits(), 0u);
+  EXPECT_EQ(fired, 0u) << "an unidentifiable scenario must not checkpoint";
+  EXPECT_TRUE(std::filesystem::is_empty(dir))
+      << "nothing may be persisted under an unstable identity";
+}
+
+}  // namespace
+}  // namespace nocbt::opt

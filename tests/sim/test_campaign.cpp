@@ -13,6 +13,8 @@
 #include <string>
 
 #include "sim/campaign.h"
+#include "sim/campaign_executor.h"
+#include "sim/campaign_report.h"
 
 namespace nocbt::sim {
 namespace {
@@ -437,7 +439,7 @@ TEST(Campaign, BadEnergyKnobsAreContainedAsErrorRows) {
 
 TEST(Campaign, RenderTableHasOneRowPerScenario) {
   const CampaignSpec camp = small_campaign();
-  const auto result = run_campaign(camp, RunnerConfig{2, nullptr});
+  const auto result = run_campaign(camp, RunnerConfig{.threads = 2});
   const std::string table = render_table(result);
   for (const auto& row : result.rows)
     EXPECT_NE(table.find(row.spec.name), std::string::npos) << row.spec.name;
@@ -482,7 +484,7 @@ TEST(Campaign, ProfilerCountersAreThreadInvariant) {
   CampaignSpec camp = small_campaign();
   camp.generators = {GeneratorKind::kUniform};
   const auto serial = run_campaign(camp);
-  const auto parallel = run_campaign(camp, RunnerConfig{4, nullptr});
+  const auto parallel = run_campaign(camp, RunnerConfig{.threads = 4});
   ASSERT_EQ(serial.rows.size(), parallel.rows.size());
   for (std::size_t i = 0; i < serial.rows.size(); ++i) {
     EXPECT_TRUE(serial.rows[i].sim == parallel.rows[i].sim)

@@ -13,6 +13,8 @@
 
 #include "common/config.h"
 #include "sim/campaign.h"
+#include "sim/campaign_executor.h"
+#include "sim/scenario_runner.h"
 #include "sim/campaign_config.h"
 
 namespace nocbt::sim {
@@ -37,6 +39,54 @@ TEST(CampaignConfig, EveryDeclaredKeyIsAccepted) {
   for (const std::string& key : campaign_option_keys())
     EXPECT_NO_THROW(check_campaign_keys(make_options({key + "=x"}), {}))
         << key;
+}
+
+TEST(CampaignConfig, UnknownKeyErrorListsEveryValidToken) {
+  // The error must enumerate the accepted schema — campaign keys plus the
+  // front-end's declared extras — so a typo is self-diagnosing.
+  try {
+    check_campaign_keys(make_options({"cashe_dir=/tmp/x"}),
+                        {"cache_dir", "resume", "shard"});
+    FAIL() << "expected unknown-key rejection";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("cashe_dir"), std::string::npos) << msg;
+    for (const std::string& key : campaign_option_keys())
+      EXPECT_NE(msg.find(key), std::string::npos) << "missing " << key;
+    for (const char* extra : {"cache_dir", "resume", "shard"})
+      EXPECT_NE(msg.find(extra), std::string::npos) << "missing " << extra;
+  }
+}
+
+TEST(CampaignConfig, ServiceKeysParseIntoAnExecutionConfig) {
+  for (const std::string& key : campaign_service_option_keys())
+    EXPECT_NO_THROW(check_campaign_keys(make_options({key + "=x"}),
+                                        campaign_service_option_keys()))
+        << key;
+
+  const ExecutionConfig off = execution_from_options(make_options({}));
+  EXPECT_TRUE(off.cache_dir.empty());
+  EXPECT_TRUE(off.journal_path.empty());
+  EXPECT_EQ(off.shard.count, 1u);
+
+  const ExecutionConfig on = execution_from_options(make_options(
+      {"cache_dir=/tmp/c", "resume=/tmp/r.jnl", "shard=1/3"}));
+  EXPECT_EQ(on.cache_dir, "/tmp/c");
+  EXPECT_EQ(on.journal_path, "/tmp/r.jnl");
+  EXPECT_EQ(on.shard.index, 1u);
+  EXPECT_EQ(on.shard.count, 3u);
+
+  EXPECT_THROW((void)execution_from_options(make_options({"shard=9/3"})),
+               std::invalid_argument);
+}
+
+TEST(CampaignConfig, BuiltinHooksCarryAStableFingerprint) {
+  // campaign_from_options wires the built-in lenet hooks with a pinned id
+  // so model sweeps are content-addressable; ad-hoc hooks stay anonymous
+  // (and therefore uncacheable) by default.
+  const CampaignSpec camp = campaign_from_options(make_options({}));
+  EXPECT_EQ(camp.hooks.id, "builtin-lenet-v1");
+  EXPECT_TRUE(ModelHooks{}.id.empty());
 }
 
 TEST(CampaignConfig, EmittedTextReconstructsTheSameCampaign) {

@@ -16,6 +16,7 @@
 #include "dnn/synthetic_data.h"
 #include "noc/trace.h"
 #include "sim/campaign.h"
+#include "sim/scenario_runner.h"
 
 namespace nocbt::sim {
 namespace {

@@ -16,6 +16,8 @@
 #include <string>
 
 #include "sim/campaign.h"
+#include "sim/campaign_executor.h"
+#include "sim/campaign_report.h"
 
 #ifndef NOCBT_GOLDEN_DIR
 #error "NOCBT_GOLDEN_DIR must point at tests/sim/golden (set by CMake)"

@@ -11,6 +11,7 @@
 
 #include "noc/trace.h"
 #include "sim/campaign.h"
+#include "sim/scenario_runner.h"
 #include "sim/traffic_gen.h"
 
 namespace nocbt::sim {
