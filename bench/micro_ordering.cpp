@@ -24,6 +24,7 @@
 #include "accel/packet_builder.h"
 #include "common/json_writer.h"
 #include "common/rng.h"
+#include "ordering/bt_kernel_backend.h"
 #include "ordering/bt_kernels.h"
 #include "ordering/greedy_chain.h"
 #include "ordering/ordering.h"
@@ -243,6 +244,73 @@ int run_json_bench(const std::string& path, std::size_t window_values) {
   }
   json.end_array();
   json.key("bt_kernel_min_speedup").value(worst_speedup);
+
+  // Kernel tiers: every registered BtKernelBackend timed on fixed-8
+  // windows, single-call and batched. The gate CI enforces is
+  // tier_best_speedup — the best tier's *batched* throughput over the
+  // scalar tier's single-call throughput, i.e. what the batched scenario
+  // runner gains over the PR-3 per-window kernels. tier_bt_identical
+  // asserts every tier's BT sum equals the naive reference's.
+  json.key("kernel_tiers").begin_array();
+  {
+    const DataFormat format = DataFormat::kFixed8;
+    const auto patterns =
+        random_patterns(window_values * kNumWindows, value_bits(format), 17);
+    const auto window_of = [&](std::size_t w) {
+      return std::span<const std::uint32_t>(patterns)
+          .subspan(w * window_values, window_values);
+    };
+    std::uint64_t reference_sum = 0;
+    for (std::size_t w = 0; w < kNumWindows; ++w)
+      reference_sum += ordering::sequence_bt_reference(window_of(w), format);
+
+    double scalar_single = 0.0;
+    double best_batched = 0.0;
+    bool tiers_identical = true;
+    for (const ordering::BtKernelBackend* backend :
+         ordering::registered_kernel_backends()) {
+      json.begin_object()
+          .key("name").value(backend->name())
+          .key("available").value(backend->available());
+      if (!backend->available()) {
+        json.end_object();
+        continue;
+      }
+      std::vector<std::uint64_t> batch_out(kNumWindows);
+      backend->sequence_bt_batch(patterns, format, window_values, batch_out);
+      std::uint64_t bt_sum = 0;
+      for (const std::uint64_t bt : batch_out) bt_sum += bt;
+      if (bt_sum != reference_sum) tiers_identical = false;
+      const Measurement single = measure_windows(
+          window_values, kNumWindows, [&](std::size_t w) {
+            return backend->sequence_bt(window_of(w), format);
+          });
+      const Measurement batched = measure_windows(
+          window_values * kNumWindows, 1, [&](std::size_t) {
+            backend->sequence_bt_batch(patterns, format, window_values,
+                                       batch_out);
+            std::uint64_t fold = 0;
+            for (const std::uint64_t bt : batch_out) fold += bt;
+            return fold;
+          });
+      if (backend->name() == "scalar") scalar_single = single.mvalues_per_s;
+      if (batched.mvalues_per_s > best_batched)
+        best_batched = batched.mvalues_per_s;
+      json.key("single_mvalues_per_s").value(single.mvalues_per_s)
+          .key("batched_mvalues_per_s").value(batched.mvalues_per_s)
+          .key("window_bt_sum").value(bt_sum)
+          .end_object();
+    }
+    json.end_array();
+    json.key("tier_best_speedup")
+        .value(scalar_single > 0.0 ? best_batched / scalar_single : 0.0);
+    json.key("tier_bt_identical").value(tiers_identical);
+    if (!tiers_identical) {
+      std::fprintf(stderr,
+                   "micro_ordering: kernel tiers disagree on the BT sum\n");
+      return 1;
+    }
+  }
 
   json.key("strategies").begin_array();
   // One shared pattern buffer per format: the draw is seed-fixed, so

@@ -1,5 +1,6 @@
 #include "opt/evaluator.h"
 
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
@@ -12,7 +13,9 @@ Evaluator::Evaluator(sim::CampaignSpec base)
 
 Evaluator::Evaluator(sim::CampaignSpec base,
                      std::shared_ptr<sim::ScenarioCache> cache)
-    : base_(std::move(base)), cache_(std::move(cache)) {
+    : base_(std::move(base)),
+      cache_(std::move(cache)),
+      schedules_(std::numeric_limits<std::size_t>::max()) {
   if (base_.generators.size() != 1)
     throw std::invalid_argument(
         "Evaluator: the campaign template must hold exactly one generator, "
@@ -41,8 +44,8 @@ const sim::ScenarioResult& Evaluator::evaluate(const Candidate& c) {
   ++lookups_;
   const std::string key = to_string(c);
   if (const auto it = memo_.find(key); it != memo_.end()) return it->second;
-  sim::SingleRunOutcome outcome =
-      sim::run_single_scenario_cached(campaign_for(c), cache_.get());
+  sim::SingleRunOutcome outcome = sim::run_single_scenario_cached(
+      campaign_for(c), cache_.get(), &schedules_);
   if (outcome.cache_hit)
     ++shared_hits_;
   else

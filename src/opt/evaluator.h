@@ -21,6 +21,7 @@
 #include "opt/search_space.h"
 #include "sim/campaign.h"
 #include "sim/scenario_cache.h"
+#include "sim/scenario_runner.h"
 
 namespace nocbt::opt {
 
@@ -75,6 +76,14 @@ class Evaluator {
  private:
   sim::CampaignSpec base_;
   std::shared_ptr<sim::ScenarioCache> cache_;
+  /// Search-scoped schedule store: candidates differing only in ordering
+  /// mode (and any knob absent from the schedule key) share one
+  /// materialized schedule plus its derived batched-ordering inputs, so a
+  /// mode sweep at a fixed grid point pays the traffic generation and
+  /// arrival-BT kernel passes once. Unbounded retention is deliberate —
+  /// optimizers revisit points in arbitrary order, and a search's distinct
+  /// schedules are few and small.
+  sim::ScheduleCache schedules_;
   std::map<std::string, sim::ScenarioResult> memo_;
   std::size_t lookups_ = 0;
   std::size_t simulated_ = 0;

@@ -1,0 +1,130 @@
+#pragma once
+// Vectorized bit-transition kernel tier with runtime dispatch.
+//
+// The ordering hot path — sequence-BT scoring and pairwise-HD matrices
+// over word-packed windows — dominates campaign rows and optimizer
+// evaluations now that the analytical NoC backend and the scenario cache
+// removed most simulation cost. This header turns "which machine kernel
+// counts the transitions" into a registered interface mirroring the
+// OrderingStrategy / PlacementPolicy / Optimizer registries:
+//
+//   scalar   the PR-3 word-packed uint64 kernels, one window per call
+//   batch64  portable batched tier: zero-alloc packed-stream reuse plus a
+//            4-way-unrolled multi-word XOR+popcount over whole windows
+//   avx2     vpshufb-LUT popcount over 256-bit lanes (AVX-512 vpopcntq
+//            inner loops where the CPU has them), registered only when the
+//            TU could be compiled and available only when CPUID agrees
+//
+// Every tier computes the exact same integer sums — the differential
+// suites pin each registered backend byte-identical to the naive per-bit
+// reference — so campaign reports are invariant under the selected tier.
+//
+// Dispatch: active_kernel_backend() picks the highest-priority available
+// backend at first use, unless the NOCBT_KERNEL_TIER environment variable
+// names a specific tier (unknown or unavailable names fail loudly) or a
+// ScopedKernelTier is alive. Tests and benches use ScopedKernelTier to
+// exercise every tier on any host.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <memory>
+#include <vector>
+
+#include "common/data_format.h"
+
+namespace nocbt::ordering {
+
+/// One machine-kernel tier. Implementations must be stateless and
+/// thread-safe: the methods are called concurrently from campaign worker
+/// threads and must be deterministic pure functions of their arguments.
+/// All tiers return bit-identical results; only throughput differs.
+class BtKernelBackend {
+ public:
+  virtual ~BtKernelBackend() = default;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  [[nodiscard]] virtual std::string_view description() const noexcept = 0;
+
+  /// True when the host CPU can execute this tier. Unavailable backends
+  /// stay registered (and enumerable) but are skipped by auto-dispatch and
+  /// rejected by the NOCBT_KERNEL_TIER override with a descriptive error.
+  [[nodiscard]] virtual bool available() const noexcept { return true; }
+
+  /// Auto-dispatch rank: the highest-priority available backend wins.
+  [[nodiscard]] virtual int priority() const noexcept = 0;
+
+  /// Total transitions between consecutive values of one window (the
+  /// kernel under ordering::sequence_bt).
+  [[nodiscard]] virtual std::uint64_t sequence_bt(
+      std::span<const std::uint32_t> window, DataFormat format) const = 0;
+
+  /// Batched entry point: score every consecutive window_values-sized
+  /// window of `patterns` (the last window may be ragged) in one pass.
+  /// `out.size()` must equal ceil(patterns.size() / window_values).
+  /// The base implementation loops sequence_bt per window; batched tiers
+  /// override it to amortize packing and traverse the whole span once.
+  virtual void sequence_bt_batch(std::span<const std::uint32_t> patterns,
+                                 DataFormat format, std::size_t window_values,
+                                 std::span<std::uint64_t> out) const;
+
+  /// Row-major n*n pairwise-Hamming-distance matrix into `out` (size
+  /// n*n). Only the upper triangle is computed; the lower half is
+  /// mirrored, and the diagonal is zero. The base implementation works
+  /// block-by-block in cache-resident tiles over pre-masked values.
+  virtual void pairwise_hd_matrix(std::span<const std::uint32_t> patterns,
+                                  DataFormat format,
+                                  std::span<std::uint8_t> out) const;
+
+ protected:
+  /// Shared argument validation for the batched entry points (throws
+  /// std::invalid_argument naming the offending size).
+  static void check_batch_args(std::size_t pattern_count,
+                               std::size_t window_values,
+                               std::size_t out_size);
+};
+
+/// Registered backend by name, or nullptr. Thread-safe.
+[[nodiscard]] const BtKernelBackend* find_kernel_backend(
+    std::string_view name);
+
+/// Registered backend by name; throws std::invalid_argument (listing the
+/// registered names) when absent.
+[[nodiscard]] const BtKernelBackend& get_kernel_backend(std::string_view name);
+
+/// Snapshot of every registered backend, registration order. Pointers stay
+/// valid for the process lifetime (backends are never removed).
+[[nodiscard]] std::vector<const BtKernelBackend*> registered_kernel_backends();
+
+/// Names of every registered backend, registration order.
+[[nodiscard]] std::vector<std::string> registered_kernel_backend_names();
+
+/// Add a backend to the registry. Throws std::invalid_argument on a null
+/// backend or a duplicate/empty name.
+void register_kernel_backend(std::unique_ptr<BtKernelBackend> backend);
+
+/// The tier the free kernel functions dispatch to. Resolution order:
+///   1. the innermost live ScopedKernelTier, if any;
+///   2. the NOCBT_KERNEL_TIER environment variable (resolved once at first
+///      use; unknown or unavailable tiers throw std::runtime_error);
+///   3. the highest-priority backend whose available() is true.
+[[nodiscard]] const BtKernelBackend& active_kernel_backend();
+
+/// RAII tier override for tests and benches: forces every kernel call in
+/// the process to the named tier (which must be available) for the scope's
+/// lifetime, then restores the previous selection. Takes effect globally —
+/// campaign worker threads spawned inside the scope see it — but scopes
+/// must not be created concurrently from multiple threads.
+class ScopedKernelTier {
+ public:
+  explicit ScopedKernelTier(std::string_view name);
+  ~ScopedKernelTier();
+  ScopedKernelTier(const ScopedKernelTier&) = delete;
+  ScopedKernelTier& operator=(const ScopedKernelTier&) = delete;
+
+ private:
+  const BtKernelBackend* previous_;
+};
+
+}  // namespace nocbt::ordering

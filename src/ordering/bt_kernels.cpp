@@ -2,15 +2,15 @@
 
 #include <algorithm>
 #include <array>
+#include <stdexcept>
 
 #include "common/bitops.h"
+#include "ordering/bt_kernel_backend.h"
 
 namespace nocbt::ordering {
 
-namespace {
+namespace detail {
 
-/// Pack patterns LSB-first into `words` (sized (n*bits + 63)/64; needs no
-/// pre-zeroing — every word, including the ragged last one, is written).
 void pack_into(std::uint64_t* words, std::span<const std::uint32_t> patterns,
                unsigned bits, std::uint64_t mask) noexcept {
   if (64 % bits == 0) {
@@ -40,7 +40,6 @@ void pack_into(std::uint64_t* words, std::span<const std::uint32_t> patterns,
   }
 }
 
-/// Shift-XOR-popcount core over an already-packed stream.
 std::uint64_t sequence_bt_words(const std::uint64_t* words,
                                 std::size_t word_count, std::size_t value_count,
                                 unsigned bits) noexcept {
@@ -62,40 +61,47 @@ std::uint64_t sequence_bt_words(const std::uint64_t* words,
   return total;
 }
 
-}  // namespace
+}  // namespace detail
 
 PackedStream pack_patterns(std::span<const std::uint32_t> patterns,
                            DataFormat format) {
-  const unsigned bits = value_bits(format);
-  const std::uint64_t mask = low_mask(bits);
   PackedStream out;
-  out.value_count = patterns.size();
-  out.bits_per_value = bits;
-  out.words.assign((patterns.size() * bits + 63) / 64, 0);
-  pack_into(out.words.data(), patterns, bits, mask);
+  pack_patterns_into(out, patterns, format);
   return out;
 }
 
+void pack_patterns_into(PackedStream& out,
+                        std::span<const std::uint32_t> patterns,
+                        DataFormat format) {
+  const unsigned bits = value_bits(format);
+  out.value_count = patterns.size();
+  out.bits_per_value = bits;
+  // resize (not assign) reuses the buffer without re-zeroing it:
+  // detail::pack_into writes every word including the ragged last one.
+  out.words.resize((patterns.size() * bits + 63) / 64);
+  detail::pack_into(out.words.data(), patterns, bits, low_mask(bits));
+}
+
 std::uint64_t sequence_bt(const PackedStream& stream) noexcept {
-  return sequence_bt_words(stream.words.data(), stream.words.size(),
-                           stream.value_count, stream.bits_per_value);
+  return detail::sequence_bt_words(stream.words.data(), stream.words.size(),
+                                   stream.value_count, stream.bits_per_value);
 }
 
 std::uint64_t sequence_bt(std::span<const std::uint32_t> patterns,
                           DataFormat format) {
-  const unsigned bits = value_bits(format);
-  const std::uint64_t mask = low_mask(bits);
-  const std::size_t word_count = (patterns.size() * bits + 63) / 64;
-  // Ordering windows are small (the paper sweeps 16-1024 values); pack
-  // into a stack buffer when the stream fits so the hot path never
-  // allocates. 128 words hold 1024 fixed-8 or 256 float-32 values.
-  constexpr std::size_t kStackWords = 128;
-  if (word_count <= kStackWords) {
-    std::array<std::uint64_t, kStackWords> words;  // pack_into fills it
-    pack_into(words.data(), patterns, bits, mask);
-    return sequence_bt_words(words.data(), word_count, patterns.size(), bits);
-  }
-  return sequence_bt(pack_patterns(patterns, format));
+  return active_kernel_backend().sequence_bt(patterns, format);
+}
+
+std::vector<std::uint64_t> sequence_bt_batch(
+    std::span<const std::uint32_t> patterns, DataFormat format,
+    std::size_t window_values) {
+  if (window_values == 0)
+    throw std::invalid_argument("sequence_bt_batch: window_values == 0");
+  std::vector<std::uint64_t> out(
+      (patterns.size() + window_values - 1) / window_values);
+  active_kernel_backend().sequence_bt_batch(patterns, format, window_values,
+                                            out);
+  return out;
 }
 
 std::uint64_t permuted_sequence_bt(std::span<const std::uint32_t> patterns,
@@ -125,18 +131,13 @@ std::uint64_t sequence_bt_reference(std::span<const std::uint32_t> patterns,
 
 std::vector<std::uint8_t> pairwise_hd_matrix(
     std::span<const std::uint32_t> patterns, DataFormat format) {
-  const auto mask = static_cast<std::uint32_t>(low_mask(value_bits(format)));
-  const std::size_t n = patterns.size();
-  std::vector<std::uint8_t> matrix(n * n, 0);
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::uint32_t vi = patterns[i] & mask;
-    for (std::size_t j = i + 1; j < n; ++j) {
-      const auto d = static_cast<std::uint8_t>(
-          popcount32(vi ^ (patterns[j] & mask)));
-      matrix[i * n + j] = d;
-      matrix[j * n + i] = d;
-    }
-  }
+  if (value_bits(format) > 255)
+    throw std::invalid_argument(
+        "pairwise_hd_matrix: format is " + std::to_string(value_bits(format)) +
+        " bits wide; distances no longer fit the uint8_t matrix (max 255 "
+        "bits per value)");
+  std::vector<std::uint8_t> matrix(patterns.size() * patterns.size(), 0);
+  active_kernel_backend().pairwise_hd_matrix(patterns, format, matrix);
   return matrix;
 }
 

@@ -10,6 +10,11 @@
 // bits (8 fixed-8 values) at a time; the naive per-bit implementations are
 // retained as reference models for differential tests and as the benchmark
 // baseline in bench/micro_ordering.
+//
+// The free functions here dispatch through the registered BtKernelBackend
+// tier (bt_kernel_backend.h): scalar, batch64 or avx2 depending on the
+// host CPU and the NOCBT_KERNEL_TIER override. Every tier computes the
+// exact same integer sums, so results are tier-invariant by construction.
 
 #include <cstdint>
 #include <span>
@@ -37,14 +42,33 @@ struct PackedStream {
 [[nodiscard]] PackedStream pack_patterns(std::span<const std::uint32_t> patterns,
                                          DataFormat format);
 
+/// Reuse overload: repack into an existing stream, reusing its word
+/// buffer's capacity. Hot loops that score one window after another (the
+/// batch64 tier, strategy scoring paths) call this instead of
+/// pack_patterns so the steady state allocates nothing — the same idiom as
+/// the PR-5 zero-alloc flit path.
+void pack_patterns_into(PackedStream& out,
+                        std::span<const std::uint32_t> patterns,
+                        DataFormat format);
+
 /// Fast kernel: total transitions between consecutive values of the
 /// stream, computed as popcount(stream XOR (stream >> bits_per_value))
-/// over the first (value_count - 1) * bits_per_value bits.
+/// over the first (value_count - 1) * bits_per_value bits. Always the
+/// scalar word kernel — the stream is already packed.
 [[nodiscard]] std::uint64_t sequence_bt(const PackedStream& stream) noexcept;
 
 /// Convenience: pack then count (what the hot paths call per window).
+/// Dispatches through the active kernel tier.
 [[nodiscard]] std::uint64_t sequence_bt(std::span<const std::uint32_t> patterns,
                                         DataFormat format);
+
+/// Batched form: the sequence BT of every consecutive window_values-sized
+/// window of `patterns` (the last window may be ragged), scored in one
+/// kernel pass through the active tier. Element w equals
+/// sequence_bt(patterns.subspan(w * window_values, ...), format) exactly.
+[[nodiscard]] std::vector<std::uint64_t> sequence_bt_batch(
+    std::span<const std::uint32_t> patterns, DataFormat format,
+    std::size_t window_values);
 
 /// Same total as sequence_bt for the stream patterns[perm[0]],
 /// patterns[perm[1]], ... without materializing the permuted copy.
@@ -53,15 +77,34 @@ struct PackedStream {
     std::span<const std::uint32_t> perm, DataFormat format) noexcept;
 
 /// Naive per-bit reference implementation of sequence_bt. Differential
-/// tests pin the packed kernel byte-identical to this; micro_ordering
-/// benchmarks the two against each other.
+/// tests pin every kernel tier byte-identical to this; micro_ordering
+/// benchmarks the tiers against it.
 [[nodiscard]] std::uint64_t sequence_bt_reference(
     std::span<const std::uint32_t> patterns, DataFormat format);
 
 /// Row-major n*n matrix of pairwise Hamming distances between the low
-/// value_bits(format) bits of the patterns. Entries fit uint8_t (the
-/// widest format is 32 bits). The diagonal is zero.
+/// value_bits(format) bits of the patterns. The upper triangle is computed
+/// once (block-by-block in cache-resident tiles) and mirrored; the
+/// diagonal is zero. Entries fit uint8_t — formats wider than 255 bits are
+/// rejected with a descriptive error rather than silently truncated.
+/// Dispatches through the active kernel tier.
 [[nodiscard]] std::vector<std::uint8_t> pairwise_hd_matrix(
     std::span<const std::uint32_t> patterns, DataFormat format);
+
+namespace detail {
+
+/// Pack patterns LSB-first into `words` (sized (n*bits + 63)/64; needs no
+/// pre-zeroing — every word, including the ragged last one, is written).
+/// Building block shared by pack_patterns and the kernel backends.
+void pack_into(std::uint64_t* words, std::span<const std::uint32_t> patterns,
+               unsigned bits, std::uint64_t mask) noexcept;
+
+/// Shift-XOR-popcount core over an already-packed stream.
+[[nodiscard]] std::uint64_t sequence_bt_words(const std::uint64_t* words,
+                                              std::size_t word_count,
+                                              std::size_t value_count,
+                                              unsigned bits) noexcept;
+
+}  // namespace detail
 
 }  // namespace nocbt::ordering

@@ -1,0 +1,277 @@
+// AVX2 (and, where the CPU offers it, AVX-512 vpopcntq) kernel tier.
+//
+// CMake compiles this TU with -mavx2 into a separate object target and
+// defines NOCBT_HAVE_AVX2_TU for the registry, which then registers the
+// backend; available() still gates on runtime CPUID so a binary built with
+// the TU stays runnable (auto-dispatch skips the tier) on CPUs without
+// AVX2. Everything here computes the exact same integer sums as the scalar
+// word kernels — the differential suites pin that — so tier selection can
+// never shift a campaign report.
+//
+// Kernel shape: a window's sequence BT is sum_i popcount(v[i] ^ v[i+1])
+// over format-masked values. Values are first narrowed (fixed-8) or copied
+// (float-32) into a contiguous per-thread byte scratch with zero padding,
+// where "XOR with the next value" becomes "XOR with the buffer shifted by
+// one value's bytes". Unaligned 256-bit pair loads + a vpshufb nibble-LUT
+// byte popcount folded with psadbw then cover 32 byte-pairs per step
+// (AVX-512: 64 with a native vpopcntq), a uint64 loop covers 8, and one
+// masked word handles the ragged tail exactly.
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/bitops.h"
+#include "ordering/bt_kernel_backend.h"
+#include "ordering/bt_kernels.h"
+
+#if !defined(__AVX2__)
+#error "bt_kernels_avx2.cpp must be compiled with -mavx2 (see src/ordering/CMakeLists.txt)"
+#endif
+
+#include <immintrin.h>
+
+namespace nocbt::ordering::detail_avx2 {
+
+namespace {
+
+/// Scratch bytes appended past the live data so the masked tail load of
+/// the pair kernel (up to 8 bytes starting vb bytes past the last pair)
+/// never reads out of bounds.
+constexpr std::size_t kScratchPad = 64;
+
+/// Per-thread byte scratch holding the narrowed/copied value stream.
+std::vector<std::uint8_t>& byte_scratch() {
+  thread_local std::vector<std::uint8_t> buf;
+  return buf;
+}
+
+/// Bytes per transmitted value (fixed-8 -> 1, float-32 -> 4).
+std::size_t value_bytes(DataFormat format) noexcept {
+  return value_bits(format) / 8;
+}
+
+/// Narrow (or copy) `patterns` into the thread scratch as a contiguous
+/// masked byte stream and return its base pointer. The scratch keeps
+/// kScratchPad readable bytes past the end.
+const std::uint8_t* load_scratch(std::span<const std::uint32_t> patterns,
+                                 DataFormat format) {
+  std::vector<std::uint8_t>& buf = byte_scratch();
+  const std::size_t vb = value_bytes(format);
+  const std::size_t bytes = patterns.size() * vb;
+  if (buf.size() < bytes + kScratchPad) buf.resize(bytes + kScratchPad);
+  if (vb == 1) {
+    // u32 -> u8 narrowing loop; with -mavx2 the compiler turns this into
+    // packed truncation, and the cast is the 8-bit mask.
+    std::uint8_t* out = buf.data();
+    for (std::size_t i = 0; i < patterns.size(); ++i)
+      out[i] = static_cast<std::uint8_t>(patterns[i]);
+  } else {
+    // 32-bit values carry all their bits: the byte stream is the values'
+    // own little-endian bytes.
+    std::memcpy(buf.data(), patterns.data(), bytes);
+  }
+  return buf.data();
+}
+
+std::uint64_t load_u64(const std::uint8_t* p) noexcept {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+/// Per-byte popcount of a 256-bit lane via the classic vpshufb nibble LUT.
+__m256i popcount_bytes(__m256i v) noexcept {
+  const __m256i lut = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i nibble = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, nibble);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi32(v, 4), nibble);
+  return _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                         _mm256_shuffle_epi8(lut, hi));
+}
+
+/// sum_{i in [0, pair_bytes)} popcount(buf[i] ^ buf[i + vb]) — the byte
+/// form of "stream XOR (stream >> one value)". AVX2 main loop, uint64
+/// middle loop, masked-word tail.
+std::uint64_t pair_popcount_avx2(const std::uint8_t* buf,
+                                 std::size_t pair_bytes,
+                                 std::size_t vb) noexcept {
+  std::uint64_t total = 0;
+  std::size_t i = 0;
+  if (pair_bytes >= 32) {
+    __m256i acc = _mm256_setzero_si256();
+    const __m256i zero = _mm256_setzero_si256();
+    for (; i + 32 <= pair_bytes; i += 32) {
+      const __m256i a = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(buf + i));
+      const __m256i b = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(buf + i + vb));
+      // psadbw against zero folds the per-byte counts into four u64 lanes
+      // without ever overflowing the u8 counters.
+      acc = _mm256_add_epi64(
+          acc, _mm256_sad_epu8(popcount_bytes(_mm256_xor_si256(a, b)), zero));
+    }
+    alignas(32) std::uint64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+    total = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+  }
+  for (; i + 8 <= pair_bytes; i += 8)
+    total += static_cast<std::uint64_t>(
+        popcount64(load_u64(buf + i) ^ load_u64(buf + i + vb)));
+  if (i < pair_bytes) {
+    // Ragged tail: one padded word, masked down to the live pair bytes.
+    const std::uint64_t x = load_u64(buf + i) ^ load_u64(buf + i + vb);
+    const auto live = static_cast<unsigned>((pair_bytes - i) * 8);
+    total += static_cast<std::uint64_t>(popcount64(x & low_mask(live)));
+  }
+  return total;
+}
+
+#ifdef NOCBT_HAVE_AVX512_ATTR
+__attribute__((target("avx512f,avx512vpopcntdq"))) std::uint64_t
+pair_popcount_avx512(const std::uint8_t* buf, std::size_t pair_bytes,
+                     std::size_t vb) noexcept {
+  std::uint64_t total = 0;
+  std::size_t i = 0;
+  if (pair_bytes >= 64) {
+    __m512i acc = _mm512_setzero_si512();
+    for (; i + 64 <= pair_bytes; i += 64) {
+      const __m512i a = _mm512_loadu_si512(buf + i);
+      const __m512i b = _mm512_loadu_si512(buf + i + vb);
+      acc = _mm512_add_epi64(acc,
+                             _mm512_popcnt_epi64(_mm512_xor_si512(a, b)));
+    }
+    // Manual lane fold: _mm512_reduce_add_epi64 trips GCC 12's
+    // -Wmaybe-uninitialized on the _mm256_undefined_si256 inside it.
+    alignas(64) std::uint64_t lanes[8];
+    _mm512_store_si512(lanes, acc);
+    for (const std::uint64_t lane : lanes) total += lane;
+  }
+  for (; i + 8 <= pair_bytes; i += 8)
+    total += static_cast<std::uint64_t>(
+        popcount64(load_u64(buf + i) ^ load_u64(buf + i + vb)));
+  if (i < pair_bytes) {
+    const std::uint64_t x = load_u64(buf + i) ^ load_u64(buf + i + vb);
+    const auto live = static_cast<unsigned>((pair_bytes - i) * 8);
+    total += static_cast<std::uint64_t>(popcount64(x & low_mask(live)));
+  }
+  return total;
+}
+#endif  // NOCBT_HAVE_AVX512_ATTR
+
+using PairPopcountFn = std::uint64_t (*)(const std::uint8_t*, std::size_t,
+                                         std::size_t) noexcept;
+
+class Avx2Backend final : public BtKernelBackend {
+ public:
+  Avx2Backend() {
+#ifdef NOCBT_HAVE_AVX512_ATTR
+    if (__builtin_cpu_supports("avx512f") &&
+        __builtin_cpu_supports("avx512vpopcntdq"))
+      pair_popcount_ = &pair_popcount_avx512;
+#endif
+  }
+
+  std::string_view name() const noexcept override { return "avx2"; }
+  std::string_view description() const noexcept override {
+    return "256-bit vpshufb-LUT popcount over byte-narrowed windows "
+           "(AVX-512 vpopcntq inner loops where the CPU supports them)";
+  }
+  bool available() const noexcept override {
+    return __builtin_cpu_supports("avx2") != 0;
+  }
+  int priority() const noexcept override { return 20; }
+
+  std::uint64_t sequence_bt(std::span<const std::uint32_t> window,
+                            DataFormat format) const override {
+    if (window.size() < 2) return 0;
+    const std::uint8_t* buf = load_scratch(window, format);
+    const std::size_t vb = value_bytes(format);
+    return pair_popcount_(buf, (window.size() - 1) * vb, vb);
+  }
+
+  void sequence_bt_batch(std::span<const std::uint32_t> patterns,
+                         DataFormat format, std::size_t window_values,
+                         std::span<std::uint64_t> out) const override {
+    check_batch_args(patterns.size(), window_values, out.size());
+    // One narrowing pass over the whole span; every window then scores
+    // off its slice of the shared byte stream.
+    const std::uint8_t* buf = load_scratch(patterns, format);
+    const std::size_t vb = value_bytes(format);
+    for (std::size_t w = 0; w < out.size(); ++w) {
+      const std::size_t start = w * window_values;
+      const std::size_t len = std::min(window_values, patterns.size() - start);
+      out[w] = len < 2 ? 0
+                       : pair_popcount_(buf + start * vb, (len - 1) * vb, vb);
+    }
+  }
+
+  void pairwise_hd_matrix(std::span<const std::uint32_t> patterns,
+                          DataFormat format,
+                          std::span<std::uint8_t> out) const override {
+    if (out.size() != patterns.size() * patterns.size())
+      throw std::invalid_argument(
+          "pairwise_hd_matrix: out holds " + std::to_string(out.size()) +
+          " entries, want n*n = " +
+          std::to_string(patterns.size() * patterns.size()));
+    const std::size_t n = patterns.size();
+    const auto mask = static_cast<std::uint32_t>(low_mask(value_bits(format)));
+    thread_local std::vector<std::uint32_t> masked;
+    masked.resize(n);
+    for (std::size_t i = 0; i < n; ++i) masked[i] = patterns[i] & mask;
+    // The tiled fill only touches off-diagonal entries; write the diagonal
+    // here so callers may hand over an uninitialized buffer.
+    for (std::size_t i = 0; i < n; ++i) out[i * n + i] = 0;
+    // Same 128x128 cache tiling and upper-triangle/mirror discipline as
+    // the scalar tier; the row scan vectorizes 8 distances per step.
+    constexpr std::size_t kTile = 128;
+    const __m256i ones8 = _mm256_set1_epi8(1);
+    const __m256i ones16 = _mm256_set1_epi16(1);
+    for (std::size_t i0 = 0; i0 < n; i0 += kTile) {
+      const std::size_t i1 = std::min(n, i0 + kTile);
+      for (std::size_t j0 = i0; j0 < n; j0 += kTile) {
+        const std::size_t j1 = std::min(n, j0 + kTile);
+        for (std::size_t i = i0; i < i1; ++i) {
+          const std::uint32_t vi = masked[i];
+          std::uint8_t* row = out.data() + i * n;
+          std::size_t j = std::max(j0, i + 1);
+          const __m256i vvi = _mm256_set1_epi32(static_cast<int>(vi));
+          for (; j + 8 <= j1; j += 8) {
+            const __m256i vj = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i*>(masked.data() + j));
+            const __m256i cnt8 = popcount_bytes(_mm256_xor_si256(vvi, vj));
+            // Fold per-byte counts to one u32 distance per lane:
+            // maddubs sums byte pairs to u16, madd sums u16 pairs to u32.
+            const __m256i cnt32 = _mm256_madd_epi16(
+                _mm256_maddubs_epi16(cnt8, ones8), ones16);
+            // Narrow the eight u32 distances (<= 32 each) to bytes.
+            __m256i p16 = _mm256_packus_epi32(cnt32, _mm256_setzero_si256());
+            p16 = _mm256_permute4x64_epi64(p16, 0xD8);
+            const __m128i p8 = _mm_packus_epi16(_mm256_castsi256_si128(p16),
+                                                _mm_setzero_si128());
+            _mm_storel_epi64(reinterpret_cast<__m128i*>(row + j), p8);
+          }
+          for (; j < j1; ++j)
+            row[j] = static_cast<std::uint8_t>(popcount32(vi ^ masked[j]));
+          for (std::size_t m = std::max(j0, i + 1); m < j1; ++m)
+            out[m * n + i] = row[m];
+        }
+      }
+    }
+  }
+
+ private:
+  PairPopcountFn pair_popcount_ = &pair_popcount_avx2;
+};
+
+}  // namespace
+
+std::unique_ptr<BtKernelBackend> make_avx2_backend() {
+  return std::make_unique<Avx2Backend>();
+}
+
+}  // namespace nocbt::ordering::detail_avx2

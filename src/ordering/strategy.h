@@ -66,6 +66,29 @@ class OrderingStrategy {
   [[nodiscard]] virtual std::vector<std::uint32_t> order(
       std::span<const std::uint32_t> patterns, DataFormat format) const = 0;
 
+  /// Batched entry point: `patterns` holds consecutive window_values-sized
+  /// windows (the last may be ragged — one window per campaign injection
+  /// request, or every window of a stream). Returns the concatenated
+  /// window-local permutations: window w occupies the output range
+  /// [w * window_values, w * window_values + len_w), holding exactly what
+  /// order() returns for that window.
+  ///
+  /// The default loops order() per window; chain-class and hybrid
+  /// strategies override it to push all their sequence-BT scoring through
+  /// one BtKernelBackend batch pass per candidate ordering instead of one
+  /// kernel call per window.
+  ///
+  /// `arrival_bt` optionally carries precomputed arrival-order sequence
+  /// BTs, one per window (the campaign runner shares one batch pass across
+  /// every mode row of a grid point). Empty means "compute them here";
+  /// non-empty spans must hold exactly one entry per window. Since every
+  /// kernel tier returns identical sums, the hint can never change the
+  /// chosen permutations.
+  [[nodiscard]] virtual std::vector<std::uint32_t> order_batch(
+      std::span<const std::uint32_t> patterns, DataFormat format,
+      std::size_t window_values,
+      std::span<const std::uint64_t> arrival_bt = {}) const;
+
   /// True for chain-class strategies that guarantee the ordered window's
   /// sequence BT never exceeds arrival order's (the property suite
   /// enforces the guarantee for every strategy that claims it).

@@ -8,12 +8,18 @@
 #include "accel/platform.h"
 #include "noc/analytical_engine.h"
 #include "noc/network.h"
+#include "ordering/bt_kernels.h"
 #include "ordering/strategy.h"
 #include "sim/scenario_cache.h"
 
 namespace nocbt::sim {
 
 namespace {
+
+/// Per-request flitized payload batch: payloads[i] is what request i
+/// injects. Built once per variant and replayed by the analytical attempt
+/// and, on fallback, the cycle engine.
+using PayloadBatch = std::vector<std::vector<BitVec>>;
 
 /// Flitize one request under the given ordering mode: encode order, pack
 /// half-half (weights right, inputs left, no bias — pure traffic). The
@@ -50,10 +56,64 @@ std::vector<BitVec> build_payloads(const InjectionRequest& req,
   return accel::pack_half_half(inputs, weights, std::nullopt, layout);
 }
 
-InjectionSchedulePtr materialize_schedule(const ScenarioSpec& spec) {
+/// Flitize the whole schedule for `mode` in one batched ordering pass:
+/// every request's windows are concatenated and scored through one
+/// OrderingStrategy::order_batch call (one BtKernelBackend pass per
+/// candidate ordering) instead of one-to-two kernel calls per request.
+/// Payloads are byte-identical to looping build_payloads — order_batch
+/// returns exactly what order() returns per window, and the equivalence
+/// suite pins it. Baseline mode and non-uniform window layouts take the
+/// per-request path.
+PayloadBatch build_payload_batch(const SharedSchedule& sched,
+                                 DataFormat format,
+                                 const accel::FlitLayout& layout,
+                                 ordering::OrderingMode mode) {
+  const InjectionSchedule& reqs = sched.requests;
+  PayloadBatch payloads;
+  payloads.reserve(reqs.size());
+  if (!ordering::mode_is_baseline(mode) && !reqs.empty()) {
+    const SharedSchedule::Derived& d = sched.derived(format);
+    if (d.uniform) {
+      const ordering::OrderingStrategy& strategy =
+          ordering::mode_strategy(mode);
+      const bool separated = ordering::mode_is_separated(mode);
+      const auto w_flat = strategy.order_batch(d.weights_concat, format,
+                                               d.window_values, d.weights_bt);
+      // Affiliated pairing reuses the weight permutation for the inputs.
+      const auto in_flat =
+          separated ? strategy.order_batch(d.inputs_concat, format,
+                                           d.window_values, d.inputs_bt)
+                    : std::vector<std::uint32_t>{};
+      std::vector<std::uint32_t> w_store;
+      std::vector<std::uint32_t> in_store;
+      std::size_t start = 0;
+      for (const InjectionRequest& req : reqs) {
+        const std::size_t len = req.weights.size();
+        w_store.resize(len);
+        in_store.resize(len);
+        const std::uint32_t* w_perm = w_flat.data() + start;
+        const std::uint32_t* in_perm =
+            (separated ? in_flat.data() : w_flat.data()) + start;
+        for (std::size_t k = 0; k < len; ++k) {
+          w_store[k] = req.weights[w_perm[k]];
+          in_store[k] = req.inputs[in_perm[k]];
+        }
+        payloads.push_back(
+            accel::pack_half_half(in_store, w_store, std::nullopt, layout));
+        start += len;
+      }
+      return payloads;
+    }
+  }
+  for (const InjectionRequest& req : reqs)
+    payloads.push_back(build_payloads(req, format, layout, mode));
+  return payloads;
+}
+
+SharedSchedulePtr materialize_schedule(const ScenarioSpec& spec) {
   auto gen = make_generator(spec);
-  auto schedule = std::make_shared<InjectionSchedule>();
-  while (auto req = gen->next()) schedule->push_back(std::move(*req));
+  auto schedule = std::make_shared<SharedSchedule>();
+  while (auto req = gen->next()) schedule->requests.push_back(std::move(*req));
   return schedule;
 }
 
@@ -106,21 +166,20 @@ struct VariantOutcome {
   std::vector<noc::LinkObservation> links;  ///< frozen per-link counters
 };
 
-/// Drive a synthetic generator's schedule through a fresh network with the
-/// payload ordering of `mode`. `want_links` gates the per-link snapshot:
-/// only the ordered run's links are reported, so the baseline variant
-/// skips copying every link counter of a large mesh.
-VariantOutcome run_traffic_variant(const ScenarioSpec& spec,
-                                   ordering::OrderingMode mode,
-                                   bool want_links,
-                                   const InjectionSchedule& schedule) {
+/// Drive a synthetic generator's schedule through a fresh network,
+/// injecting the prebuilt per-request payloads (consumed — each request's
+/// payloads are moved into the network). `want_links` gates the per-link
+/// snapshot: only the ordered run's links are reported, so the baseline
+/// variant skips copying every link counter of a large mesh.
+VariantOutcome run_traffic_variant(const ScenarioSpec& spec, bool want_links,
+                                   const InjectionSchedule& schedule,
+                                   PayloadBatch&& payloads) {
   const noc::WallTimer timer;
   noc::Network net(spec.noc_config());
   const std::int32_t nodes = spec.rows * spec.cols;
   for (std::int32_t node = 0; node < nodes; ++node)
     net.set_sink(node, nullptr);  // stats-only sink
 
-  const accel::FlitLayout layout{spec.values_per_flit, value_bits(spec.format)};
   std::size_t next_req = 0;
   const auto* pending = next_req < schedule.size() ? &schedule[next_req]
                                                    : nullptr;
@@ -140,8 +199,7 @@ VariantOutcome run_traffic_variant(const ScenarioSpec& spec,
       net.advance_idle(pending->cycle - net.cycle());
     }
     while (pending && pending->cycle <= net.cycle()) {
-      net.inject(pending->src, pending->dst,
-                 build_payloads(*pending, spec.format, layout, mode));
+      net.inject(pending->src, pending->dst, std::move(payloads[next_req]));
       ++next_req;
       pending = next_req < schedule.size() ? &schedule[next_req] : nullptr;
     }
@@ -202,16 +260,15 @@ VariantOutcome run_model_variant(const ScenarioSpec& spec,
 /// with `out` filled; false when the schedule is contended or the config
 /// unsupported, with `why_not` explaining — the caller then replays the
 /// same materialized schedule on a cycle engine.
-bool run_analytical_variant(const ScenarioSpec& spec,
-                            ordering::OrderingMode mode, bool want_links,
+bool run_analytical_variant(const ScenarioSpec& spec, bool want_links,
                             const InjectionSchedule& schedule,
+                            const PayloadBatch& payloads,
                             VariantOutcome& out, std::string& why_not) {
   const noc::WallTimer timer;
   noc::AnalyticalEngine eng(spec.noc_config());
-  const accel::FlitLayout layout{spec.values_per_flit, value_bits(spec.format)};
-  for (const InjectionRequest& req : schedule)
-    eng.inject(req.cycle, req.src, req.dst,
-               build_payloads(req, spec.format, layout, mode));
+  for (std::size_t i = 0; i < schedule.size(); ++i)
+    eng.inject(schedule[i].cycle, schedule[i].src, schedule[i].dst,
+               payloads[i]);
   if (!eng.run()) {
     why_not = eng.contention_detail();
     return false;
@@ -235,16 +292,27 @@ bool run_analytical_variant(const ScenarioSpec& spec,
 VariantOutcome run_variant(const ScenarioSpec& spec,
                            ordering::OrderingMode mode,
                            const ModelHooks& hooks, bool want_links,
-                           const InjectionSchedule* schedule) {
+                           const SharedSchedule* schedule) {
   // Model workloads inject reactively and always need a cycle engine
   // (validate() rejects forcing analytical on them); every other workload
   // replays the caller's materialized schedule.
-  if (spec.generator != GeneratorKind::kModel &&
-      (spec.engine_auto || spec.engine == noc::SimEngine::kAnalytical)) {
+  ScenarioSpec cyc = spec;
+  if (cyc.engine == noc::SimEngine::kAnalytical)
+    cyc.engine = noc::SimEngine::kActiveSet;
+  if (spec.generator == GeneratorKind::kModel)
+    return run_model_variant(cyc, mode, hooks, want_links);
+
+  // Flitize the whole schedule once — one batched ordering pass whose
+  // payloads both the analytical attempt and its cycle-engine fallback
+  // replay, so a fallback never repeats the ordering work.
+  const accel::FlitLayout layout{spec.values_per_flit, value_bits(spec.format)};
+  PayloadBatch payloads =
+      build_payload_batch(*schedule, spec.format, layout, mode);
+  if (spec.engine_auto || spec.engine == noc::SimEngine::kAnalytical) {
     VariantOutcome out;
     std::string why_not;
-    if (run_analytical_variant(spec, mode, want_links, *schedule, out,
-                               why_not))
+    if (run_analytical_variant(spec, want_links, schedule->requests, payloads,
+                               out, why_not))
       return out;
     if (!spec.engine_auto)
       throw std::runtime_error(
@@ -253,20 +321,54 @@ VariantOutcome run_variant(const ScenarioSpec& spec,
   }
   // Cycle-engine path; under auto-selection kAnalytical is a policy, not a
   // steppable backend, so the fallback runs active-set.
-  ScenarioSpec cyc = spec;
-  if (cyc.engine == noc::SimEngine::kAnalytical)
-    cyc.engine = noc::SimEngine::kActiveSet;
-  return cyc.generator == GeneratorKind::kModel
-             ? run_model_variant(cyc, mode, hooks, want_links)
-             : run_traffic_variant(cyc, mode, want_links, *schedule);
+  return run_traffic_variant(cyc, want_links, schedule->requests,
+                             std::move(payloads));
 }
 
 }  // namespace
 
-InjectionSchedulePtr ScheduleCache::get(const ScenarioSpec& spec) {
+const SharedSchedule::Derived& SharedSchedule::derived(
+    DataFormat format) const {
+  std::call_once(once_, [&] {
+    Derived d;
+    const std::size_t wv =
+        requests.empty() ? 0 : requests.front().weights.size();
+    if (wv > 0) {
+      // order_batch needs every window full except possibly the last, and
+      // affiliated pairing needs matching weight/input lengths per request.
+      d.uniform = true;
+      for (std::size_t i = 0; i < requests.size() && d.uniform; ++i) {
+        const InjectionRequest& r = requests[i];
+        const bool last = i + 1 == requests.size();
+        d.uniform = r.weights.size() == r.inputs.size() &&
+                    (last ? !r.weights.empty() && r.weights.size() <= wv
+                          : r.weights.size() == wv);
+      }
+    }
+    if (d.uniform) {
+      d.window_values = wv;
+      std::size_t total = 0;
+      for (const InjectionRequest& r : requests) total += r.weights.size();
+      d.weights_concat.reserve(total);
+      d.inputs_concat.reserve(total);
+      for (const InjectionRequest& r : requests) {
+        d.weights_concat.insert(d.weights_concat.end(), r.weights.begin(),
+                                r.weights.end());
+        d.inputs_concat.insert(d.inputs_concat.end(), r.inputs.begin(),
+                               r.inputs.end());
+      }
+      d.weights_bt = ordering::sequence_bt_batch(d.weights_concat, format, wv);
+      d.inputs_bt = ordering::sequence_bt_batch(d.inputs_concat, format, wv);
+    }
+    derived_ = std::move(d);
+  });
+  return derived_;
+}
+
+SharedSchedulePtr ScheduleCache::get(const ScenarioSpec& spec) {
   const std::string key = schedule_key(spec);
-  std::promise<InjectionSchedulePtr> mine;
-  std::shared_future<InjectionSchedulePtr> fut;
+  std::promise<SharedSchedulePtr> mine;
+  std::shared_future<SharedSchedulePtr> fut;
   bool owner = false;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -305,8 +407,8 @@ ScenarioResult run_scenario_shared(const ScenarioSpec& spec,
     // Materialize the pre-ordering schedule once: both variants (and the
     // analytical attempt plus its cycle-engine fallback) replay the same
     // request list, and with a cache every mode row of this traffic stream
-    // shares it too.
-    InjectionSchedulePtr schedule;
+    // shares it too — including the derived batched-ordering inputs.
+    SharedSchedulePtr schedule;
     if (spec.generator != GeneratorKind::kModel)
       schedule =
           schedules ? schedules->get(spec) : materialize_schedule(spec);
@@ -364,7 +466,8 @@ ScenarioResult run_single_scenario(const CampaignSpec& spec) {
 }
 
 SingleRunOutcome run_single_scenario_cached(const CampaignSpec& spec,
-                                            ScenarioCache* cache) {
+                                            ScenarioCache* cache,
+                                            ScheduleCache* schedules) {
   const std::vector<ScenarioSpec> scenarios = spec.expand();
   if (scenarios.size() != 1)
     throw std::invalid_argument(
@@ -384,12 +487,12 @@ SingleRunOutcome run_single_scenario_cached(const CampaignSpec& spec,
         out.cache_hit = true;
         return out;
       }
-      out.row = run_scenario_shared(scenario, spec.hooks, nullptr);
+      out.row = run_scenario_shared(scenario, spec.hooks, schedules);
       cache->store(key.hash, out.row);
       return out;
     }
   }
-  out.row = run_scenario_shared(scenario, spec.hooks, nullptr);
+  out.row = run_scenario_shared(scenario, spec.hooks, schedules);
   return out;
 }
 

@@ -13,6 +13,7 @@
 // zero-load analytical backend and keep that result when it is proven
 // exact, falling back to the requested cycle engine otherwise.
 
+#include <cstdint>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -20,6 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/data_format.h"
 #include "sim/campaign.h"
 #include "sim/traffic_gen.h"
 
@@ -31,24 +33,61 @@ class ScenarioCache;  // sim/scenario_cache.h
 /// traffic every variant of a scenario (baseline, ordered, analytical or
 /// cycle) replays. Immutable once built, so workers share it freely.
 using InjectionSchedule = std::vector<InjectionRequest>;
-using InjectionSchedulePtr = std::shared_ptr<const InjectionSchedule>;
+
+/// A materialized schedule plus the derived inputs of batched payload
+/// ordering: the per-stream value concatenations and arrival-order
+/// sequence-BT hints that let one OrderingStrategy::order_batch call (one
+/// kernel pass per candidate ordering) score every window of the
+/// scenario. The request list is immutable after materialization; the
+/// derived block is built lazily on the first ordered variant and then
+/// shared — across both variants of a scenario, and, through the campaign
+/// ScheduleCache, across every mode row of a grid point.
+struct SharedSchedule {
+  InjectionSchedule requests;
+
+  struct Derived {
+    /// True when every request carries equally-sized weight/input windows
+    /// (the last may be ragged), i.e. the concatenations below form a
+    /// valid order_batch layout. False routes through the per-request
+    /// ordering path with identical results.
+    bool uniform = false;
+    std::size_t window_values = 0;
+    std::vector<std::uint32_t> weights_concat;
+    std::vector<std::uint32_t> inputs_concat;
+    /// Arrival-order sequence BT per window — the order_batch hint that
+    /// chain-class strategies would otherwise recompute per mode row.
+    std::vector<std::uint64_t> weights_bt;
+    std::vector<std::uint64_t> inputs_bt;
+  };
+
+  /// Derived block, built exactly once (thread-safe). The schedule cache
+  /// key pins the format, so every caller passes the same one.
+  [[nodiscard]] const Derived& derived(DataFormat format) const;
+
+ private:
+  mutable std::once_flag once_;
+  mutable Derived derived_;
+};
+
+using SharedSchedulePtr = std::shared_ptr<const SharedSchedule>;
 
 /// Campaign-scoped schedule store: grid points that share every
 /// payload-relevant knob (all mode rows of one traffic stream — expand()
-/// derives their seeds mode-independently) generate their schedule once.
-/// Thread-safe; the first worker to request a key materializes it while
-/// later workers block on the shared future. Entries are dropped after
-/// `uses_per_key` lookups (one per mode row) to bound campaign memory.
+/// derives their seeds mode-independently) generate their schedule once,
+/// and with it the SharedSchedule::Derived ordering inputs. Thread-safe;
+/// the first worker to request a key materializes it while later workers
+/// block on the shared future. Entries are dropped after `uses_per_key`
+/// lookups (one per mode row) to bound campaign memory.
 class ScheduleCache {
  public:
   explicit ScheduleCache(std::size_t uses_per_key)
       : uses_per_key_(uses_per_key < 1 ? 1 : uses_per_key) {}
 
-  [[nodiscard]] InjectionSchedulePtr get(const ScenarioSpec& spec);
+  [[nodiscard]] SharedSchedulePtr get(const ScenarioSpec& spec);
 
  private:
   struct Entry {
-    std::shared_future<InjectionSchedulePtr> future;
+    std::shared_future<SharedSchedulePtr> future;
     std::size_t remaining = 0;
   };
   std::size_t uses_per_key_;
@@ -87,7 +126,12 @@ struct SingleRunOutcome {
 /// run_single_scenario through a content-addressed ScenarioCache (may be
 /// null — then it always simulates). On a miss the fresh row is stored
 /// back, so co-optimizer searches and campaign sweeps share hits.
+/// `schedules` (may be null) shares materialized schedules and their
+/// derived batched-ordering inputs across calls — opt::Evaluator passes
+/// its own so candidates differing only in ordering mode reuse one
+/// schedule and one set of arrival-BT hints.
 [[nodiscard]] SingleRunOutcome run_single_scenario_cached(
-    const CampaignSpec& spec, ScenarioCache* cache);
+    const CampaignSpec& spec, ScenarioCache* cache,
+    ScheduleCache* schedules = nullptr);
 
 }  // namespace nocbt::sim

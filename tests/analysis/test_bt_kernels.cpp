@@ -12,6 +12,7 @@
 #include "common/bitops.h"
 #include "common/bitvec.h"
 #include "common/rng.h"
+#include "ordering/bt_kernel_backend.h"
 #include "ordering/bt_kernels.h"
 
 namespace nocbt {
@@ -57,6 +58,28 @@ TEST(SequenceBtKernel, PackedMatchesNaiveReferenceForRandomWindows) {
         EXPECT_EQ(ordering::permuted_sequence_bt(window, identity, format),
                   reference)
             << "permuted overload, n=" << n << " seed=" << seed;
+      }
+    }
+  }
+}
+
+TEST(SequenceBtKernel, EveryKernelTierMatchesNaiveReference) {
+  // The span overload dispatches through the active BtKernelBackend; force
+  // each registered tier in turn so every machine kernel this host can run
+  // is pinned to the same sums (the dedicated backend suite covers the
+  // backend API itself — this guards the dispatched free functions the
+  // strategies and sim actually call).
+  for (const ordering::BtKernelBackend* backend :
+       ordering::registered_kernel_backends()) {
+    if (!backend->available()) continue;
+    const ordering::ScopedKernelTier force(backend->name());
+    for (const DataFormat format : {DataFormat::kFloat32, DataFormat::kFixed8}) {
+      for (const std::size_t n :
+           {0u, 1u, 2u, 7u, 8u, 9u, 31u, 32u, 33u, 63u, 64u, 65u, 257u}) {
+        const auto window = random_patterns(n, value_bits(format), 7 * n + 1);
+        EXPECT_EQ(ordering::sequence_bt(window, format),
+                  ordering::sequence_bt_reference(window, format))
+            << backend->name() << " n=" << n;
       }
     }
   }

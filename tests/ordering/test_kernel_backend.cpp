@@ -1,0 +1,290 @@
+// Registry, dispatch, and differential suites for the BtKernelBackend
+// kernel tier. The load-bearing invariant is byte-identity: every
+// registered backend — scalar, batch64, avx2 where the host has it — must
+// return exactly the sums of the naive per-bit reference, batched entry
+// points must equal their looped counterparts, and forcing any tier via
+// ScopedKernelTier must never change a result. The campaign golden suite
+// leans on this when it replays reports under every tier.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/bitops.h"
+#include "common/rng.h"
+#include "ordering/bt_kernel_backend.h"
+#include "ordering/bt_kernels.h"
+
+namespace nocbt::ordering {
+namespace {
+
+std::vector<std::uint32_t> random_patterns(std::size_t n, unsigned bits,
+                                           std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint32_t> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back(static_cast<std::uint32_t>(rng.bits64() & low_mask(bits)));
+  return out;
+}
+
+/// Windows drawn from a 3-value alphabet: long runs of equal values and
+/// repeated distances stress the masked-tail and accumulator paths with
+/// the degenerate sums random data never produces.
+std::vector<std::uint32_t> tie_heavy_patterns(std::size_t n, unsigned bits,
+                                              std::uint64_t seed) {
+  const auto mask = static_cast<std::uint32_t>(low_mask(bits));
+  const std::uint32_t alphabet[3] = {0u, mask, 0x55555555u & mask};
+  Rng rng(seed);
+  std::vector<std::uint32_t> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back(alphabet[rng.bits64() % 3]);
+  return out;
+}
+
+/// Window sizes straddling every layout boundary: the 64-bit packed word
+/// (8 fixed-8 / 2 float-32 values), the 32-byte AVX2 vector, and the
+/// 128-word stack threshold of the scalar tier.
+const std::size_t kWindowSizes[] = {0u,  1u,  2u,  7u,   8u,   9u,
+                                    15u, 16u, 17u, 31u,  32u,  33u,
+                                    63u, 64u, 65u, 255u, 256u, 257u};
+
+const DataFormat kFormats[] = {DataFormat::kFixed8, DataFormat::kFloat32};
+
+TEST(KernelRegistry, BuiltinsRegisteredInPriorityOrder) {
+  const auto names = registered_kernel_backend_names();
+  ASSERT_GE(names.size(), 2u);
+  EXPECT_EQ(names[0], "scalar");
+  EXPECT_EQ(names[1], "batch64");
+  for (const std::string& name : names) {
+    const BtKernelBackend* backend = find_kernel_backend(name);
+    ASSERT_NE(backend, nullptr) << name;
+    EXPECT_EQ(&get_kernel_backend(name), backend);
+    EXPECT_FALSE(backend->description().empty()) << name;
+  }
+  // scalar is the always-available floor the dispatcher can fall back to.
+  EXPECT_TRUE(get_kernel_backend("scalar").available());
+  EXPECT_EQ(get_kernel_backend("scalar").priority(), 0);
+  EXPECT_GT(get_kernel_backend("batch64").priority(), 0);
+  EXPECT_EQ(find_kernel_backend("no-such-tier"), nullptr);
+}
+
+TEST(KernelRegistry, GetUnknownThrowsListingRegisteredNames) {
+  try {
+    (void)get_kernel_backend("warp9");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("warp9"), std::string::npos);
+    EXPECT_NE(what.find("scalar"), std::string::npos);
+    EXPECT_NE(what.find("batch64"), std::string::npos);
+  }
+}
+
+TEST(KernelRegistry, RegisterRejectsNullAndDuplicateNames) {
+  EXPECT_THROW(register_kernel_backend(nullptr), std::invalid_argument);
+
+  class DuplicateScalar final : public BtKernelBackend {
+   public:
+    std::string_view name() const noexcept override { return "scalar"; }
+    std::string_view description() const noexcept override { return "dup"; }
+    int priority() const noexcept override { return -1; }
+    std::uint64_t sequence_bt(std::span<const std::uint32_t>,
+                              DataFormat) const override {
+      return 0;
+    }
+  };
+  EXPECT_THROW(register_kernel_backend(std::make_unique<DuplicateScalar>()),
+               std::invalid_argument);
+}
+
+TEST(KernelDispatch, ActiveBackendHonorsEnvOrPicksBestAvailable) {
+  const BtKernelBackend& active = active_kernel_backend();
+  EXPECT_TRUE(active.available());
+  if (const char* env = std::getenv("NOCBT_KERNEL_TIER"); env && *env) {
+    // The forced-tier CI jobs run this whole binary under the override —
+    // resolution must have obeyed it.
+    EXPECT_EQ(active.name(), env);
+  } else {
+    for (const BtKernelBackend* backend : registered_kernel_backends())
+      if (backend->available())
+        EXPECT_GE(active.priority(), backend->priority()) << backend->name();
+  }
+}
+
+TEST(KernelDispatch, ScopedTierForcesAndRestores) {
+  const std::string before{active_kernel_backend().name()};
+  {
+    const ScopedKernelTier outer("scalar");
+    EXPECT_EQ(active_kernel_backend().name(), "scalar");
+    {
+      const ScopedKernelTier inner("batch64");
+      EXPECT_EQ(active_kernel_backend().name(), "batch64");
+    }
+    EXPECT_EQ(active_kernel_backend().name(), "scalar");
+  }
+  EXPECT_EQ(active_kernel_backend().name(), before);
+}
+
+TEST(KernelDispatch, ScopedTierRejectsUnknownNames) {
+  EXPECT_THROW(ScopedKernelTier("no-such-tier"), std::invalid_argument);
+}
+
+TEST(KernelDifferential, EveryBackendMatchesNaiveReference) {
+  for (const BtKernelBackend* backend : registered_kernel_backends()) {
+    if (!backend->available()) continue;
+    for (const DataFormat format : kFormats) {
+      for (const std::size_t n : kWindowSizes) {
+        for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+          const auto window =
+              random_patterns(n, value_bits(format), seed * 131 + n);
+          EXPECT_EQ(backend->sequence_bt(window, format),
+                    sequence_bt_reference(window, format))
+              << backend->name() << " n=" << n << " seed=" << seed;
+          const auto ties =
+              tie_heavy_patterns(n, value_bits(format), seed * 17 + n);
+          EXPECT_EQ(backend->sequence_bt(ties, format),
+                    sequence_bt_reference(ties, format))
+              << backend->name() << " tie-heavy n=" << n << " seed=" << seed;
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelDifferential, BatchEqualsLoopedSequenceBt) {
+  for (const BtKernelBackend* backend : registered_kernel_backends()) {
+    if (!backend->available()) continue;
+    for (const DataFormat format : kFormats) {
+      const auto patterns = random_patterns(257, value_bits(format), 4242);
+      // Window sizes dividing 257 never evenly: every batch ends ragged.
+      for (const std::size_t wv : {1u, 7u, 32u, 63u, 64u, 65u, 100u, 300u}) {
+        const std::size_t windows = (patterns.size() + wv - 1) / wv;
+        std::vector<std::uint64_t> batched(windows);
+        backend->sequence_bt_batch(patterns, format, wv, batched);
+        for (std::size_t w = 0; w < windows; ++w) {
+          const std::size_t start = w * wv;
+          const std::size_t len = std::min(wv, patterns.size() - start);
+          EXPECT_EQ(batched[w],
+                    backend->sequence_bt(
+                        std::span(patterns).subspan(start, len), format))
+              << backend->name() << " wv=" << wv << " window=" << w;
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelDifferential, BatchValidatesWindowAndOutSizes) {
+  const auto patterns = random_patterns(10, 8, 7);
+  std::vector<std::uint64_t> out(4);  // 10 values at wv=3 form 4 windows
+  for (const BtKernelBackend* backend : registered_kernel_backends()) {
+    if (!backend->available()) continue;
+    EXPECT_THROW(
+        backend->sequence_bt_batch(patterns, DataFormat::kFixed8, 0, out),
+        std::invalid_argument)
+        << backend->name();
+    std::vector<std::uint64_t> short_out(3);
+    EXPECT_THROW(backend->sequence_bt_batch(patterns, DataFormat::kFixed8, 3,
+                                            short_out),
+                 std::invalid_argument)
+        << backend->name();
+    backend->sequence_bt_batch(patterns, DataFormat::kFixed8, 3, out);
+  }
+}
+
+TEST(KernelDifferential, PairwiseHdMatrixMatchesDirectPopcount) {
+  for (const BtKernelBackend* backend : registered_kernel_backends()) {
+    if (!backend->available()) continue;
+    for (const DataFormat format : kFormats) {
+      // 150 spans two 128-wide tiles, so inter-tile mirroring is covered.
+      for (const std::size_t n : {1u, 2u, 17u, 127u, 128u, 129u, 150u}) {
+        const auto window = random_patterns(n, value_bits(format), 1000 + n);
+        const auto mask =
+            static_cast<std::uint32_t>(low_mask(value_bits(format)));
+        std::vector<std::uint8_t> matrix(n * n, 0xEE);
+        backend->pairwise_hd_matrix(window, format, matrix);
+        for (std::size_t i = 0; i < n; ++i) {
+          for (std::size_t j = 0; j < n; ++j) {
+            const auto expected = static_cast<std::uint8_t>(
+                popcount32((window[i] & mask) ^ (window[j] & mask)));
+            ASSERT_EQ(matrix[i * n + j], expected)
+                << backend->name() << " n=" << n << " i=" << i << " j=" << j;
+            ASSERT_EQ(matrix[i * n + j], matrix[j * n + i])
+                << backend->name() << " asymmetric at " << i << "," << j;
+          }
+          ASSERT_EQ(matrix[i * n + i], 0u) << backend->name();
+        }
+      }
+      std::vector<std::uint8_t> wrong(5);
+      EXPECT_THROW(backend->pairwise_hd_matrix(random_patterns(3, 8, 1),
+                                               format, wrong),
+                   std::invalid_argument)
+          << backend->name();
+    }
+  }
+}
+
+TEST(KernelFreeFunctions, DispatchedEntryPointsAreTierInvariant) {
+  for (const DataFormat format : kFormats) {
+    const auto patterns = random_patterns(300, value_bits(format), 31337);
+    const std::uint64_t ref_bt = sequence_bt_reference(patterns, format);
+    const auto ref_batch = [&] {
+      const ScopedKernelTier force("scalar");
+      return sequence_bt_batch(patterns, format, 32);
+    }();
+    const auto ref_matrix = [&] {
+      const ScopedKernelTier force("scalar");
+      return pairwise_hd_matrix(std::span(patterns).first(64), format);
+    }();
+    for (const BtKernelBackend* backend : registered_kernel_backends()) {
+      if (!backend->available()) continue;
+      const ScopedKernelTier force(backend->name());
+      EXPECT_EQ(sequence_bt(patterns, format), ref_bt) << backend->name();
+      EXPECT_EQ(sequence_bt_batch(patterns, format, 32), ref_batch)
+          << backend->name();
+      EXPECT_EQ(pairwise_hd_matrix(std::span(patterns).first(64), format),
+                ref_matrix)
+          << backend->name();
+    }
+  }
+}
+
+TEST(KernelFreeFunctions, BatchHelperSizesOutputAndValidates) {
+  const auto patterns = random_patterns(65, 8, 5);
+  const auto out = sequence_bt_batch(patterns, DataFormat::kFixed8, 32);
+  ASSERT_EQ(out.size(), 3u);  // 32 + 32 + ragged 1
+  EXPECT_EQ(out[2], 0u);      // single-value window has no transitions
+  EXPECT_THROW(sequence_bt_batch(patterns, DataFormat::kFixed8, 0),
+               std::invalid_argument);
+  EXPECT_TRUE(sequence_bt_batch({}, DataFormat::kFixed8, 8).empty());
+}
+
+TEST(KernelFreeFunctions, PackPatternsIntoReusesCapacity) {
+  PackedStream stream;
+  const auto big = random_patterns(1024, 8, 9);
+  pack_patterns_into(stream, big, DataFormat::kFixed8);
+  EXPECT_EQ(stream.value_count, big.size());
+  EXPECT_EQ(sequence_bt(stream), sequence_bt_reference(big, DataFormat::kFixed8));
+  const std::uint64_t* before = stream.words.data();
+  const std::size_t capacity = stream.words.capacity();
+  // A smaller repack must reuse the buffer (zero-alloc steady state) and
+  // still match a fresh pack bit for bit.
+  const auto small = random_patterns(40, 32, 11);
+  pack_patterns_into(stream, small, DataFormat::kFloat32);
+  EXPECT_EQ(stream.words.data(), before);
+  EXPECT_EQ(stream.words.capacity(), capacity);
+  const PackedStream fresh = pack_patterns(small, DataFormat::kFloat32);
+  EXPECT_EQ(stream.value_count, fresh.value_count);
+  EXPECT_EQ(stream.bits_per_value, fresh.bits_per_value);
+  EXPECT_EQ(stream.words, fresh.words);
+}
+
+}  // namespace
+}  // namespace nocbt::ordering

@@ -199,6 +199,56 @@ TEST(StrategyDifferential, OrderStreamWithPopcountMatchesLegacyStreamSort) {
                std::invalid_argument);
 }
 
+TEST(StrategyBatch, OrderBatchEqualsLoopedOrderForEveryStrategy) {
+  // order_batch is the seam the scenario runner flitizes through: for
+  // every registered strategy the concatenated window-local permutations
+  // must equal looping order() window by window — including the ragged
+  // tail, with and without the arrival-BT hint, on tie-heavy data where a
+  // scoring discrepancy would flip the chosen candidate.
+  for (const OrderingStrategy* strategy : registered_strategies()) {
+    for (const DataFormat format :
+         {DataFormat::kFixed8, DataFormat::kFloat32}) {
+      for (const std::uint64_t seed : {5ull, 6ull}) {
+        auto stream = random_window(135, format, seed);  // 4 windows + 7
+        if (seed == 6) {  // collapse to a tiny alphabet: maximal ties
+          const auto mask =
+              static_cast<std::uint32_t>(low_mask(value_bits(format)));
+          for (auto& v : stream) v = (v % 2 == 0) ? (0x0F0F0F0Fu & mask) : 0u;
+        }
+        const std::size_t wv = 32;
+        const auto flat = strategy->order_batch(stream, format, wv);
+        ASSERT_EQ(flat.size(), stream.size()) << strategy->name();
+        const auto hints = sequence_bt_batch(stream, format, wv);
+        EXPECT_EQ(strategy->order_batch(stream, format, wv, hints), flat)
+            << strategy->name() << ": arrival-BT hint changed the result";
+        for (std::size_t start = 0; start < stream.size(); start += wv) {
+          const std::size_t len = std::min(wv, stream.size() - start);
+          const auto window = std::span(stream).subspan(start, len);
+          const auto expected = strategy->order(window, format);
+          const std::vector<std::uint32_t> got(
+              flat.begin() + static_cast<std::ptrdiff_t>(start),
+              flat.begin() + static_cast<std::ptrdiff_t>(start + len));
+          EXPECT_EQ(got, expected)
+              << strategy->name() << " format=" << to_string(format)
+              << " seed=" << seed << " window at " << start;
+        }
+      }
+    }
+  }
+}
+
+TEST(StrategyBatch, OrderBatchValidatesArguments) {
+  const auto stream = random_window(64, DataFormat::kFixed8, 3);
+  const OrderingStrategy& strategy = get_strategy("hybrid");
+  EXPECT_THROW((void)strategy.order_batch(stream, DataFormat::kFixed8, 0),
+               std::invalid_argument);
+  const std::vector<std::uint64_t> bad_hint(3);  // 64 values @ 32 = 2 windows
+  EXPECT_THROW((void)strategy.order_batch(stream, DataFormat::kFixed8, 32,
+                                          bad_hint),
+               std::invalid_argument);
+  EXPECT_TRUE(strategy.order_batch({}, DataFormat::kFixed8, 32).empty());
+}
+
 /// Registry extension: user strategies slot in next to the built-ins.
 class ReverseStrategy final : public OrderingStrategy {
  public:

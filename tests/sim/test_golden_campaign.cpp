@@ -15,6 +15,7 @@
 #include <sstream>
 #include <string>
 
+#include "ordering/bt_kernel_backend.h"
 #include "sim/campaign.h"
 #include "sim/campaign_executor.h"
 #include "sim/campaign_report.h"
@@ -93,6 +94,28 @@ TEST(GoldenCampaign, ReportsMatchCommittedGoldenByteForByte) {
       << "campaign JSON drifted from the committed golden; if the change is "
          "intentional, regenerate with NOCBT_REGEN_GOLDEN=1 and review the "
          "diff";
+}
+
+TEST(GoldenCampaign, EveryKernelTierIsByteIdenticalToGolden) {
+  // The BtKernelBackend contract is that the selected tier can never
+  // change a result — every tier computes the same exact integer sums.
+  // Pin it end to end: the whole campaign report must match the committed
+  // golden byte for byte under every tier this host can execute, not just
+  // the auto-dispatched one.
+  if (std::getenv("NOCBT_REGEN_GOLDEN") != nullptr)
+    GTEST_SKIP() << "regeneration run";
+  const CampaignSpec camp = golden_campaign();
+  const std::string golden =
+      read_file(std::string(NOCBT_GOLDEN_DIR) + "/campaign_golden.json");
+  for (const ordering::BtKernelBackend* backend :
+       ordering::registered_kernel_backends()) {
+    if (!backend->available()) continue;
+    const ordering::ScopedKernelTier force(backend->name());
+    const CampaignResult result = run_campaign(camp, RunnerConfig{});
+    EXPECT_EQ(json_report(camp, result) + "\n", golden)
+        << "campaign report drifted under forced kernel tier '"
+        << backend->name() << "'";
+  }
 }
 
 TEST(GoldenCampaign, ParallelRunIsByteIdenticalToGolden) {
